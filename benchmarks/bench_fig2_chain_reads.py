@@ -1,0 +1,16 @@
+"""Experiment F2 — Figure 2: chunk reads along a delta chain."""
+
+from repro.bench import fig2
+
+
+def bench_fig2_chain_reads(run_once):
+    rows = run_once(fig2.run)
+
+    # The figure's exact scenario: chain depth 3, 2 chunks in the
+    # region, 6 chunks read.
+    depth3 = next(row for row in rows if row["chain_depth"] == 3)
+    assert depth3["chunks_read"] == 6
+    # Read amplification is linear in chain depth.
+    for row in rows:
+        assert row["chunks_read"] == \
+            row["chain_depth"] * row["chunks_overlapping_query"]

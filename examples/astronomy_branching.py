@@ -1,0 +1,123 @@
+"""The paper's astronomy motivation: version trees from "cooking" raw data.
+
+"An astronomer might want to use a different cooking algorithm on a
+particular study area ... Hence, there may be a tree of versions
+resulting from the same raw data" (Section I).  This example:
+
+1. loads raw telescope imagery (simulated: stars + hot-pixel noise);
+2. cooks it with two different algorithms on two named branches —
+   a threshold cleaner and a median-like despeckler;
+3. compares the branches cell-wise against each other and the raw data;
+4. re-cooks one branch ("further cooking could well be in order"),
+   showing the no-overwrite history on every line of the tree.
+
+Run with::
+
+    python examples/astronomy_branching.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import ArraySchema, Database
+
+
+def make_raw_sky(shape=(96, 96), stars=40, hot_pixels=120,
+                 seed=1054):  # SN 1054, the Crab supernova
+    """Raw imagery: gaussian star blobs plus single-pixel sensor noise.
+
+    The paper: sensor noise "often appears as bright pixels on a dark
+    background, and is quite easy to confuse for a star!"
+    """
+    rng = np.random.default_rng(seed)
+    sky = rng.normal(12, 2, size=shape)  # dark background
+    ys, xs = np.mgrid[0:shape[0], 0:shape[1]]
+    for _ in range(stars):
+        cy, cx = rng.integers(0, shape[0]), rng.integers(0, shape[1])
+        brightness = rng.uniform(80, 250)
+        sigma = rng.uniform(0.8, 1.8)
+        sky += brightness * np.exp(-((ys - cy) ** 2 + (xs - cx) ** 2)
+                                   / (2 * sigma ** 2))
+    flat = sky.ravel()
+    hot = rng.choice(flat.size, size=hot_pixels, replace=False)
+    flat[hot] = rng.uniform(200, 255, size=hot_pixels)
+    return np.clip(sky, 0, 255).astype(np.int32)
+
+
+def cook_threshold(image: np.ndarray, floor: int = 60) -> np.ndarray:
+    """Cooking algorithm A: zero out everything below a threshold."""
+    return np.where(image >= floor, image, 0).astype(np.int32)
+
+
+def cook_despeckle(image: np.ndarray) -> np.ndarray:
+    """Cooking algorithm B: suppress pixels brighter than all neighbours.
+
+    A hot pixel has no bright neighbourhood; a star blob does.
+    """
+    padded = np.pad(image, 1, mode="edge")
+    neighbour_max = np.zeros_like(image)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            if dy == dx == 0:
+                continue
+            shifted = padded[1 + dy:1 + dy + image.shape[0],
+                             1 + dx:1 + dx + image.shape[1]]
+            neighbour_max = np.maximum(neighbour_max, shifted)
+    isolated = (image > 150) & (neighbour_max < 50)
+    return np.where(isolated, 0, image).astype(np.int32)
+
+
+def main() -> None:
+    raw = make_raw_sky()
+    with tempfile.TemporaryDirectory() as root:
+        db = Database(root, chunk_bytes=8 * 1024)
+        db.create_array("sky", ArraySchema.simple(raw.shape,
+                                                  dtype=np.int32))
+        db.insert("sky", raw)
+        print(f"raw imagery stored: {int(np.count_nonzero(raw > 150))} "
+              "bright pixels (stars + noise)")
+
+        # Two cooking pipelines on named branches off the same raw data.
+        db.branch("sky", 1, "sky_threshold")
+        db.insert("sky_threshold", cook_threshold(raw))
+        db.branch("sky", 1, "sky_despeckle")
+        db.insert("sky_despeckle", cook_despeckle(raw))
+
+        cooked_a = db.select("sky_threshold@2")
+        cooked_b = db.select("sky_despeckle@2")
+        disagreement = int(np.count_nonzero(cooked_a != cooked_b))
+        print(f"the two cookings disagree on {disagreement} cells")
+
+        # "Further cooking could well be in order": re-cook branch B.
+        db.insert("sky_despeckle", cook_threshold(cooked_b, floor=30))
+        print("re-cooked the despeckle branch (version 3)")
+
+        # The version tree, with parentage from the catalog.
+        print("\nversion tree:")
+        for name in db.manager.list_arrays():
+            record = db.manager.catalog.get_array(name)
+            origin = (f" (branched from {record.parent_array}@"
+                      f"{record.parent_version})"
+                      if record.parent_array else "")
+            print(f"  {name}{origin}: versions {db.versions(name)}")
+
+        # Every historical version remains readable (no overwrite).
+        before = db.select("sky_despeckle@2")
+        after = db.select("sky_despeckle@3")
+        removed = int(np.count_nonzero(before != after))
+        print(f"\nre-cooking changed {removed} cells; version 2 is "
+              "still byte-exact on disk")
+
+        total = sum(db.manager.stored_bytes(n)
+                    for n in db.manager.list_arrays())
+        logical = raw.nbytes * 4  # four stored versions in the tree
+        print(f"tree stores {total // 1024} KB for {logical // 1024} KB "
+              "logical (branches delta against their lineage)")
+        db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""The paper's multi-node picture: partitions versioned independently.
+
+"Each array may be partitioned across several storage system nodes, and
+each machine runs its own instance of the storage system.  Each node
+thereby separately encodes the versions of each partition" (Section II).
+
+This example runs a 4-node cluster on one machine, stores a weather
+series across it, shows that region queries touch only the owning
+nodes, and re-organizes every node's layout independently.
+
+Run with::
+
+    python examples/distributed_cluster.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import ArraySchema
+from repro.cluster import ClusterCoordinator
+from repro.datasets import noaa_series
+
+
+def main() -> None:
+    frames = noaa_series(8, shape=(128, 64))["humidity"]
+
+    with tempfile.TemporaryDirectory() as root:
+        cluster = ClusterCoordinator(root, nodes=4, chunk_bytes=8 * 1024,
+                                     compressor="lz",
+                                     delta_codec="hybrid+lz")
+        cluster.create_array(
+            "humidity", ArraySchema.simple((128, 64), dtype=np.float32))
+        for frame in frames:
+            cluster.insert("humidity", frame)
+        print(f"stored {len(frames)} versions across "
+              f"{cluster.nodes} nodes")
+
+        for node, manager in enumerate(cluster.managers):
+            record = manager.catalog.get_array("humidity")
+            print(f"  node {node}: partition {record.schema.shape}, "
+                  f"{manager.stored_bytes('humidity') // 1024} KB on disk")
+
+        # A full version reassembles exactly.
+        out = cluster.select("humidity", 8)
+        assert np.array_equal(out.single(), frames[-1])
+        print("full select reassembles byte-exact")
+
+        # A region inside one band is served by one node.
+        for stats in cluster.node_stats():
+            stats.reset()
+        cluster.select_region("humidity", 8, (0, 0), (31, 63))
+        reads = [stats.chunks_read for stats in cluster.node_stats()]
+        print(f"band-local region query chunk reads per node: {reads}")
+
+        # Independent background re-organization on every node.
+        before = cluster.stored_bytes("humidity")
+        cluster.reorganize("humidity", mode="space")
+        after = cluster.stored_bytes("humidity")
+        print(f"re-organized all nodes: {before // 1024} KB -> "
+              f"{after // 1024} KB")
+        assert np.array_equal(cluster.select("humidity", 3).single(),
+                              frames[2])
+        print("all versions verified after re-organization")
+        cluster.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: create a versioned array, insert versions, query them.
+
+Walks through the paper's Appendix A session using both the AQL
+declarative interface and the programmatic API.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import Database
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        db = Database(root)
+
+        # --- CREATE UPDATABLE ARRAY (Appendix A) -----------------------
+        db.execute("CREATE UPDATABLE ARRAY Example "
+                   "( A::INTEGER ) [ I=0:2, J=0:2 ];")
+        print("created array Example (3x3 INTEGER)")
+
+        # --- three versions: the paper's base, doubled, tripled data ---
+        base = np.arange(1, 10, dtype=np.int32).reshape(3, 3)
+        for multiplier in (1, 2, 3):
+            version = db.insert("Example", base * multiplier)
+            print(f"inserted version {version}")
+
+        print("VERSIONS(Example) ->",
+              db.execute("VERSIONS(Example);").value)
+
+        # --- Select form 1: one version ---------------------------------
+        third = db.execute("SELECT * FROM Example@3;").value
+        print("\nSELECT * FROM Example@3:")
+        print(third)
+
+        # --- Select form 3: all versions stacked on a new axis ----------
+        stack = db.execute("SELECT * FROM Example@*;").value
+        print(f"\nSELECT * FROM Example@* -> shape {stack.shape} "
+              "(versions x I x J)")
+
+        # --- Select form 4 via SUBSAMPLE: a 2x2x2 cube -------------------
+        cube = db.execute(
+            "SELECT * FROM SUBSAMPLE(Example@*, 0, 1, 1, 2, 1, 2);").value
+        print(f"\nSUBSAMPLE(Example@*, 0,1, 1,2, 1,2) -> shape {cube.shape}:")
+        print(cube)
+
+        # --- Branch: a named what-if line --------------------------------
+        db.execute("BRANCH(Example@2 NewBranch);")
+        db.insert("NewBranch", base * 100)
+        print("\nafter BRANCH(Example@2 NewBranch) + one insert:")
+        print("  Example  :", db.execute("VERSIONS(Example);").value)
+        print("  NewBranch:", db.execute("VERSIONS(NewBranch);").value)
+
+        # --- Storage accounting ------------------------------------------
+        props = db.properties("Example")
+        print(f"\nExample stores {props['stored_bytes']} bytes for "
+              f"{props['versions']} versions "
+              f"(logical {props['logical_bytes']} bytes, "
+              f"ratio {props['compression_ratio']:.2f}x)")
+        db.close()
+
+
+if __name__ == "__main__":
+    main()

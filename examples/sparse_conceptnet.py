@@ -1,0 +1,70 @@
+"""Sparse array versioning: the paper's ConceptNet scenario.
+
+Weekly snapshots of a sparse relationship matrix are inserted via the
+paper's *sparse payload* form (coordinate/value pairs plus a default),
+stored as delta chains, and queried back.  Demonstrates the extreme
+compression ratios Table V reports for sparse data and the metadata
+queries of Section II-C.
+
+Run with::
+
+    python examples/sparse_conceptnet.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import ArraySchema, Database, SparsePayload
+from repro.datasets import conceptnet_series
+
+
+def main() -> None:
+    weeks = 8
+    size = 512
+    snapshots = conceptnet_series(weeks, size=size, nnz=2500)
+
+    with tempfile.TemporaryDirectory() as root:
+        db = Database(root, chunk_bytes=64 * 1024, compressor="lz",
+                      delta_codec="hybrid+lz")
+        db.create_array(
+            "concepts", ArraySchema.simple((size, size), dtype=np.int32))
+
+        for snapshot in snapshots:
+            db.insert("concepts", SparsePayload.of(snapshot.coords,
+                                                   snapshot.values))
+        print(f"stored {weeks} weekly snapshots of a {size}x{size} "
+              f"matrix (~{snapshots[0].nnz} nonzeros each)")
+
+        props = db.properties("concepts")
+        print(f"sparsity: {props['sparsity']:.4%} empty")
+        print(f"on-disk: {props['stored_bytes'] // 1024} KB for "
+              f"{props['logical_bytes'] // 2**20} MB logical "
+              f"({props['compression_ratio']:.0f}:1 — the Table V "
+              "CNet effect)")
+
+        # Metadata queries (Section II-C).
+        print("\narrays in the store:", db.manager.list_arrays())
+        print("versions:", db.versions("concepts"))
+
+        # How did one hub concept's relations evolve?
+        hub = int(snapshots[0].coords[np.argmax(snapshots[0].values), 0])
+        row_history = db.manager.select_versions_region(
+            "concepts", db.versions("concepts"),
+            (hub, 0), (hub, size - 1))
+        per_week = (row_history != 0).sum(axis=(1, 2))
+        print(f"\nrelations of hub concept {hub} per week: "
+              f"{per_week.tolist()}")
+
+        # Verify a full round-trip of the final snapshot.
+        final = db.select(f"concepts@{weeks}")
+        expected = snapshots[-1].to_dense()
+        assert np.array_equal(final, expected)
+        print("final snapshot round-trips exactly")
+        db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Comparison systems: SVN-like and Git-like repositories (Section V-C)."""
+
+from repro.baselines.base import BaselineVCS
+from repro.baselines.git_like import GitLikeRepository, GitOutOfMemoryError
+from repro.baselines.svn_like import SvnLikeRepository
+from repro.baselines.xdelta import xdelta_decode, xdelta_encode
+
+__all__ = [
+    "BaselineVCS",
+    "GitLikeRepository",
+    "GitOutOfMemoryError",
+    "SvnLikeRepository",
+    "xdelta_decode",
+    "xdelta_encode",
+]

@@ -1,0 +1,52 @@
+"""Common interface for the comparison version-control systems.
+
+Section V-C: "we compare our system against two widely used
+general-purpose versioning systems, SVN and GIT.  For both SVN and GIT,
+we mapped each matrix to a versioned file, and committed each version in
+sequence order."  The baselines reproduce that protocol: byte-oriented
+repositories that know nothing about array structure — no chunking, so
+a subselect must read (and reconstruct) the whole file.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.storage.iostats import IOStats
+
+
+class BaselineVCS(ABC):
+    """A general-purpose versioned file store."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = IOStats()
+
+    @abstractmethod
+    def commit(self, files: dict[str, bytes]) -> int:
+        """Commit new contents for the given files; returns revision."""
+
+    @abstractmethod
+    def read(self, name: str, revision: int) -> bytes:
+        """Full contents of one file at one revision (1-based)."""
+
+    @abstractmethod
+    def pack(self) -> None:
+        """The offline optimization step (svnadmin pack / git repack)."""
+
+    def data_size(self) -> int:
+        """Total bytes on disk."""
+        return sum(f.stat().st_size for f in self.root.rglob("*")
+                   if f.is_file())
+
+    def subselect(self, name: str, revision: int,
+                  offset: int, length: int) -> bytes:
+        """Read a byte range of a file version.
+
+        General-purpose VCSs have no partial access: the whole version
+        is reconstructed and sliced — the effect Table VI quantifies
+        ("45x slower for single chunk selects").
+        """
+        return self.read(name, revision)[offset:offset + length]

@@ -1,0 +1,39 @@
+"""Benchmark experiment modules, one per paper table/figure.
+
+Each module's ``run()`` prints a paper-shaped table and returns its rows
+as data; ``benchmarks/`` wraps them with pytest-benchmark.  The mapping
+from paper artifact to module is DESIGN.md's per-experiment index.
+"""
+
+from repro.bench import (
+    ablations,
+    fig2,
+    materialization,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    workload_aware,
+)
+from repro.bench.harness import fmt_bytes, fmt_seconds, print_table, timed
+
+__all__ = [
+    "ablations",
+    "fig2",
+    "fmt_bytes",
+    "fmt_seconds",
+    "materialization",
+    "print_table",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "timed",
+    "workload_aware",
+]

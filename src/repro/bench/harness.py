@@ -1,0 +1,74 @@
+"""Shared benchmark plumbing: timers and paper-style table printing.
+
+Every experiment module in :mod:`repro.bench` exposes a ``run()``
+function that returns its rows as dictionaries and prints a table shaped
+like the corresponding table in the paper, so benchmark output can be
+eyeballed against the original numbers (shape, not absolute values — see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+def fmt_bytes(count: float) -> str:
+    """Human-readable byte count (``1.53 GB`` style, as in the tables)."""
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Seconds with paper-style precision (``42.63 s``)."""
+    if seconds < 0.01:
+        return f"{seconds * 1000:.2f} ms"
+    return f"{seconds:.2f} s"
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a mutable elapsed-seconds holder.
+
+    >>> with timed() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0
+    True
+    """
+
+    class _Holder:
+        seconds = 0.0
+
+    holder = _Holder()
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder.seconds = time.perf_counter() - start
+
+
+def print_table(title: str, headers: list[str],
+                rows: list[list[str]]) -> None:
+    """Print an aligned ASCII table resembling the paper's tables."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def line(cells):
+        return "  ".join(str(cell).ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    print()
+    print(f"=== {title} ===")
+    print(line(headers))
+    print(line(["-" * width for width in widths]))
+    for row in rows:
+        print(line(row))
+    print()

@@ -1,0 +1,132 @@
+"""Table VI — SVN and Git versus our system on the OSM data.
+
+Paper's rows (16 x 1 GB tiles):
+
+    Uncompressed    574.5 s   16.0 GB   192.0 s   19.65 s
+    Hybrid+LZ      2340.4 s    2.01 GB   18.63 s   0.61 s
+    SVN            8070.0 s   16.0 GB    29.2 s   28.6 s
+    Git                  - (ran out of memory)
+
+Expected shape: our Hybrid+LZ store uses ~8x less space than SVN and
+serves subselects tens of times faster (SVN reconstructs whole files);
+SVN's import is by far the slowest; the Git-model repack exceeds its
+memory budget and aborts, reproducing the paper's dash row.
+
+Scaling note: SVN achieved no compression on the 1 GB OSM arrays; the
+SVN model reproduces that via its large-file fulltext cutoff, scaled to
+the scaled tile size (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.baselines import (
+    GitLikeRepository,
+    GitOutOfMemoryError,
+    SvnLikeRepository,
+)
+from repro.bench.harness import fmt_bytes, fmt_seconds, print_table, timed
+from repro.bench.osm_stores import ARRAY, build_store, one_chunk_region
+from repro.datasets import osm_series
+
+
+def _vcs_rows(tiles, repo, *, pack=True) -> dict:
+    """Import the tile series into a baseline VCS and measure it."""
+    with timed() as import_timer:
+        for tile in tiles:
+            repo.commit({"matrix.dat": tile.tobytes()})
+        if pack:
+            repo.pack()
+    latest = len(tiles)
+    with timed() as select_timer:
+        contents = repo.read("matrix.dat", latest)
+    assert contents == tiles[-1].tobytes()
+    # Subselect: one chunk-sized byte range (no partial access exists,
+    # so the whole version is read — the paper's 45x amplification).
+    repo.stats.reset()
+    with timed() as subselect_timer:
+        repo.subselect("matrix.dat", latest, 0, 16 * 1024)
+    return {
+        "import_seconds": import_timer.seconds,
+        "size_bytes": repo.data_size(),
+        "select_seconds": select_timer.seconds,
+        "subselect_seconds": subselect_timer.seconds,
+        "subselect_bytes": repo.stats.bytes_read,
+    }
+
+
+def run(versions: int = 16, shape: tuple[int, int] = (512, 512), *,
+        chunk_bytes: int = 16 * 1024, workdir: str | None = None,
+        quiet: bool = False) -> list[dict]:
+    """Regenerate Table VI at reproduction scale."""
+    tiles = osm_series(versions, shape=shape)
+    tile_bytes = tiles[0].nbytes
+    rows = []
+    with tempfile.TemporaryDirectory(dir=workdir) as scratch:
+        base = Path(scratch)
+
+        for config in ("Uncompressed", "Chunks + Deltas + LZ"):
+            manager, import_seconds = build_store(
+                base / config.replace(" ", ""), config, tiles, chunk_bytes)
+            with timed() as select_timer:
+                manager.select(ARRAY, len(tiles))
+            lo, hi = one_chunk_region(manager)
+            with manager.stats.measure() as sub_io, \
+                    timed() as subselect_timer:
+                manager.select_region(ARRAY, len(tiles), lo, hi)
+            rows.append({
+                "method": "Hybrid+LZ" if "LZ" in config else "Uncompressed",
+                "import_seconds": import_seconds,
+                "size_bytes": manager.store.total_bytes(ARRAY),
+                "select_seconds": select_timer.seconds,
+                "subselect_seconds": subselect_timer.seconds,
+                "subselect_bytes": sub_io.bytes_read,
+            })
+            manager.catalog.close()
+
+        # SVN: the large-file cutoff scaled to the scaled tiles — every
+        # revision of the big binary is stored fulltext, as observed on
+        # the real 1 GB arrays.
+        svn = SvnLikeRepository(base / "svn",
+                                max_delta_bytes=tile_bytes - 1)
+        rows.append({"method": "SVN", **_vcs_rows(tiles, svn)})
+
+        # Git: the repack window over large objects exceeds the memory
+        # budget (the paper's machine had 8 GB for 1 GB tiles; scale the
+        # budget by the same ~8x ratio to the tile size).
+        git = GitLikeRepository(base / "git", window=10,
+                                memory_limit_bytes=8 * tile_bytes)
+        git_row = {"method": "Git"}
+        try:
+            git_row.update(_vcs_rows(tiles, git))
+        except GitOutOfMemoryError:
+            git_row.update({"import_seconds": None, "size_bytes": None,
+                            "select_seconds": None,
+                            "subselect_seconds": None,
+                            "subselect_bytes": None,
+                            "oom": True})
+        rows.append(git_row)
+
+    if not quiet:
+        def cell(value, formatter):
+            return "-" if value is None else formatter(value)
+
+        print_table(
+            f"Table VI: SVN and Git on OSM "
+            f"({versions} x {tile_bytes / 2**10:.0f} KB tiles)",
+            ["Method", "Import Time", "Data Size", "Array Select",
+             "Subselect", "Subselect Bytes"],
+            [[row["method"],
+              cell(row["import_seconds"], fmt_seconds),
+              cell(row["size_bytes"], fmt_bytes),
+              cell(row["select_seconds"], fmt_seconds),
+              cell(row["subselect_seconds"], fmt_seconds),
+              cell(row["subselect_bytes"], fmt_bytes)]
+             for row in rows])
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

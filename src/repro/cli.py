@@ -1,0 +1,155 @@
+"""Command-line inspector for a versioned array store.
+
+Usage::
+
+    python -m repro.cli <store-root> list
+    python -m repro.cli <store-root> info <array>
+    python -m repro.cli <store-root> versions <array>
+    python -m repro.cli <store-root> chunks <array> <version>
+    python -m repro.cli <store-root> layout <array>
+    python -m repro.cli <store-root> sql "VERSIONS(Example);"
+
+``list`` enumerates arrays; ``info`` prints schema and storage figures;
+``versions`` the version history with parentage; ``chunks`` the
+per-chunk encoding records of one version (which delta codec, which
+base, where on disk); ``layout`` the current materialization structure
+as a tree; ``sql`` executes one AQL statement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import fmt_bytes
+from repro.query.engine import Database
+
+
+def _cmd_list(db: Database, _args) -> int:
+    for name in db.manager.list_arrays():
+        print(name)
+    return 0
+
+
+def _cmd_info(db: Database, args) -> int:
+    props = db.properties(args.array)
+    record = db.manager.catalog.get_array(args.array)
+    print(f"array:       {args.array}")
+    print(f"schema:      {record.schema.to_aql()}")
+    print(f"chunk bytes: {record.chunk_bytes}")
+    print(f"compressor:  {record.compressor}")
+    if record.parent_array:
+        print(f"branched:    from {record.parent_array}"
+              f"@{record.parent_version}")
+    print(f"versions:    {props['versions']}")
+    print(f"stored:      {fmt_bytes(props['stored_bytes'])}")
+    print(f"logical:     {fmt_bytes(props['logical_bytes'])}")
+    print(f"ratio:       {props['compression_ratio']:.2f}x")
+    if props["sparsity"] is not None:
+        print(f"sparsity:    {props['sparsity']:.2%} empty")
+    return 0
+
+
+def _cmd_versions(db: Database, args) -> int:
+    record = db.manager.catalog.get_array(args.array)
+    for version in db.manager.catalog.get_versions(record.array_id):
+        size = db.manager.stored_bytes(args.array, version.version)
+        parent = f" parent=v{version.parent_version}" \
+            if version.parent_version else ""
+        merge_parents = db.manager.catalog.merge_parents_of(
+            record.array_id, version.version)
+        merged = f" merged-from={merge_parents}" if merge_parents else ""
+        print(f"v{version.version}  kind={version.kind}"
+              f"{parent}{merged}  stored={fmt_bytes(size)}")
+    return 0
+
+
+def _cmd_chunks(db: Database, args) -> int:
+    record = db.manager.catalog.get_array(args.array)
+    chunks = db.manager.catalog.chunks_for_version(record.array_id,
+                                                   args.version)
+    for chunk in chunks:
+        encoding = (f"delta[{chunk.delta_codec}] vs v{chunk.base_version}"
+                    if chunk.is_delta else
+                    f"materialized[{chunk.compressor}]")
+        print(f"{chunk.attribute}/{chunk.chunk_name}  {encoding}  "
+              f"{fmt_bytes(chunk.location.length)} at "
+              f"{chunk.location.path}+{chunk.location.offset}")
+    return 0
+
+
+def _cmd_layout(db: Database, args) -> int:
+    record = db.manager.catalog.get_array(args.array)
+    parent_of: dict[int, set[int]] = {}
+    roots = []
+    for version in db.manager.catalog.get_versions(record.array_id):
+        chunks = db.manager.catalog.chunks_for_version(
+            record.array_id, version.version)
+        bases = {c.base_version for c in chunks if c.is_delta}
+        if bases:
+            for base in bases:
+                parent_of.setdefault(base, set()).add(version.version)
+        else:
+            roots.append(version.version)
+
+    def render(version: int, indent: int) -> None:
+        marker = "M" if indent == 0 else "Δ"
+        print("  " * indent + f"{marker} v{version}")
+        for child in sorted(parent_of.get(version, ())):
+            render(child, indent + 1)
+
+    for root in roots:
+        render(root, 0)
+    return 0
+
+
+def _cmd_sql(db: Database, args) -> int:
+    result = db.execute(args.statement)
+    if result.value is not None:
+        print(result.value)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Inspect a versioned array store.")
+    parser.add_argument("root", help="store root directory")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list").set_defaults(func=_cmd_list)
+
+    info = commands.add_parser("info")
+    info.add_argument("array")
+    info.set_defaults(func=_cmd_info)
+
+    versions = commands.add_parser("versions")
+    versions.add_argument("array")
+    versions.set_defaults(func=_cmd_versions)
+
+    chunks = commands.add_parser("chunks")
+    chunks.add_argument("array")
+    chunks.add_argument("version", type=int)
+    chunks.set_defaults(func=_cmd_chunks)
+
+    layout = commands.add_parser("layout")
+    layout.add_argument("array")
+    layout.set_defaults(func=_cmd_layout)
+
+    sql = commands.add_parser("sql")
+    sql.add_argument("statement")
+    sql.set_defaults(func=_cmd_sql)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    db = Database(args.root)
+    try:
+        return args.func(db, args)
+    finally:
+        db.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

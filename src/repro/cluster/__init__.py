@@ -1,0 +1,12 @@
+"""Multi-node deployment: range partitioning + a fan-out coordinator.
+
+Implements Section II's distributed picture — one storage-manager
+instance per node, each independently delta-encoding its partition —
+with ArrayStore-style regular range partitioning (the paper's
+reference [2]).
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.partitioning import Band, RangePartitioner
+
+__all__ = ["Band", "ClusterCoordinator", "RangePartitioner"]

@@ -1,0 +1,215 @@
+"""A multi-node deployment of the versioned storage system (Section II).
+
+"The query processor receives a declarative query or update from a
+front end ... The query processor translates this command into a
+collection of commands to update or query specific versions in the
+storage system.  Each array may be partitioned across several storage
+system nodes, and each machine runs its own instance of the storage
+system."
+
+:class:`ClusterCoordinator` is that query-processor-side fan-out: it
+partitions every array into bands (one per node), runs an independent
+:class:`~repro.storage.manager.VersionedStorageManager` per node — each
+node delta-encodes *its own* partition locally, exactly as the paper
+states — and reassembles query results.  All single-node semantics
+(no-overwrite, branches, layout re-organization) apply per node.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.partitioning import RangePartitioner
+from repro.core.array import ArrayData, Payload
+from repro.core.errors import StorageError
+from repro.core.schema import ArraySchema, Attribute, Dimension
+from repro.storage.iostats import IOStats
+from repro.storage.manager import VersionedStorageManager
+
+
+class ClusterCoordinator:
+    """Fans array operations out to per-node storage managers."""
+
+    def __init__(self, root: str | Path, nodes: int = 4, *,
+                 partition_axis: int = 0, **manager_kwargs):
+        if nodes < 1:
+            raise StorageError("a cluster needs at least one node")
+        self.root = Path(root)
+        self.nodes = nodes
+        self.partition_axis = partition_axis
+        self.managers = [
+            VersionedStorageManager(self.root / f"node{index}",
+                                    **manager_kwargs)
+            for index in range(nodes)
+        ]
+        self._partitioners: dict[str, RangePartitioner] = {}
+        self._schemas: dict[str, ArraySchema] = {}
+
+    # ------------------------------------------------------------------
+    # Array lifecycle
+    # ------------------------------------------------------------------
+    def create_array(self, name: str, schema: ArraySchema,
+                     **kwargs) -> None:
+        """Create the array's partition on every node."""
+        partitioner = RangePartitioner(schema.shape, self.nodes,
+                                       axis=self.partition_axis)
+        for node, manager in enumerate(self.managers):
+            manager.create_array(name,
+                                 _band_schema(schema,
+                                              partitioner.local_shape(node)),
+                                 **kwargs)
+        self._partitioners[name] = partitioner
+        self._schemas[name] = schema
+
+    def delete_array(self, name: str) -> None:
+        self._partitioner(name)
+        for manager in self.managers:
+            manager.delete_array(name)
+        del self._partitioners[name]
+        del self._schemas[name]
+
+    def list_arrays(self) -> list[str]:
+        return sorted(self._partitioners)
+
+    # ------------------------------------------------------------------
+    # Versions
+    # ------------------------------------------------------------------
+    def insert(self, name: str, payload: Payload | ArrayData | np.ndarray,
+               timestamp: float | None = None) -> int:
+        """Split a version into bands and insert on every node."""
+        partitioner = self._partitioner(name)
+        schema = self._schemas[name]
+        data = self._normalize(name, payload)
+        version = None
+        axis = partitioner.axis
+        for node, manager in enumerate(self.managers):
+            band = partitioner.band_of(node)
+            index = tuple(
+                np.s_[band.lo:band.hi + 1] if dim == axis else np.s_[:]
+                for dim in range(schema.ndim))
+            local = ArrayData(
+                _band_schema(schema, partitioner.local_shape(node)),
+                {attr.name: data.attribute(attr.name)[index]
+                 for attr in schema.attributes})
+            node_version = manager.insert(name, local, timestamp)
+            if version is None:
+                version = node_version
+            elif version != node_version:
+                raise StorageError(
+                    f"node {node} is out of step: version {node_version}"
+                    f" vs {version}")
+        return version
+
+    def get_versions(self, name: str) -> list[int]:
+        self._partitioner(name)
+        return self.managers[0].get_versions(name)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(self, name: str, version: int) -> ArrayData:
+        """Reassemble one full version from every node's band."""
+        schema = self._schema(name)
+        lo = tuple(0 for _ in schema.shape)
+        hi = tuple(extent - 1 for extent in schema.shape)
+        return self.select_region(name, version, lo, hi)
+
+    def select_region(self, name: str, version: int,
+                      corner_lo: tuple[int, ...],
+                      corner_hi: tuple[int, ...]) -> ArrayData:
+        """Route a region query to the overlapping nodes only."""
+        partitioner = self._partitioner(name)
+        schema = self._schema(name)
+        lo = schema.to_zero_based(corner_lo)
+        hi = schema.to_zero_based(corner_hi)
+        region_shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+        axis = partitioner.axis
+
+        canvases = {
+            attr.name: np.empty(region_shape, dtype=attr.dtype)
+            for attr in schema.attributes
+        }
+        for band in partitioner.bands_overlapping(lo, hi):
+            local_lo, local_hi = partitioner.clip_region(band, lo, hi)
+            part = self.managers[band.node].select_region(
+                name, version, local_lo, local_hi)
+            dest_lo = max(lo[axis], band.lo) - lo[axis]
+            dest_hi = min(hi[axis], band.hi) - lo[axis]
+            index = tuple(
+                np.s_[dest_lo:dest_hi + 1] if dim == axis else np.s_[:]
+                for dim in range(schema.ndim))
+            for attr in schema.attributes:
+                canvases[attr.name][index] = part.attribute(attr.name)
+        from repro.core.array import _sliced_schema
+
+        return ArrayData(_sliced_schema(schema, lo, hi), canvases)
+
+    def select_versions(self, name: str, versions: list[int],
+                        attribute: str | None = None) -> np.ndarray:
+        """The stacked (N+1-dimensional) select across the cluster."""
+        schema = self._schema(name)
+        attr = attribute or schema.attributes[0].name
+        layers = [self.select(name, v).attribute(attr) for v in versions]
+        return np.stack(layers, axis=0)
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+    def reorganize(self, name: str, **kwargs) -> None:
+        """Per-node background re-organization (each node independent)."""
+        self._partitioner(name)
+        for manager in self.managers:
+            manager.reorganize(name, **kwargs)
+
+    def stored_bytes(self, name: str) -> int:
+        self._partitioner(name)
+        return sum(manager.stored_bytes(name)
+                   for manager in self.managers)
+
+    def node_stats(self) -> list[IOStats]:
+        """Per-node I/O counters (routing tests use these)."""
+        return [manager.stats for manager in self.managers]
+
+    def close(self) -> None:
+        for manager in self.managers:
+            manager.catalog.close()
+
+    # ------------------------------------------------------------------
+    def _partitioner(self, name: str) -> RangePartitioner:
+        try:
+            return self._partitioners[name]
+        except KeyError:
+            raise StorageError(
+                f"array {name!r} is not registered with this "
+                "coordinator") from None
+
+    def _schema(self, name: str) -> ArraySchema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise StorageError(
+                f"array {name!r} is not registered with this "
+                "coordinator") from None
+
+    def _normalize(self, name: str,
+                   payload: Payload | ArrayData | np.ndarray) -> ArrayData:
+        schema = self._schema(name)
+        if isinstance(payload, ArrayData):
+            return payload
+        if isinstance(payload, np.ndarray):
+            return ArrayData.from_single(schema, payload)
+        return payload.to_array_data(schema)
+
+
+def _band_schema(schema: ArraySchema,
+                 local_shape: tuple[int, ...]) -> ArraySchema:
+    """The schema of one node's partition (zero-based, band-sized)."""
+    dims = tuple(
+        Dimension(dim.name, 0, extent - 1)
+        for dim, extent in zip(schema.dimensions, local_shape))
+    attrs = tuple(
+        Attribute(attr.name, attr.dtype, attr.default)
+        for attr in schema.attributes)
+    return ArraySchema(dimensions=dims, attributes=attrs)

@@ -1,0 +1,109 @@
+"""Array partitioning across storage nodes (Section II).
+
+"Each array may be partitioned across several storage system nodes, and
+each machine runs its own instance of the storage system.  Each node
+thereby separately encodes the versions of each partition on its local
+storage system."  The paper defers partitioning policy to the ArrayStore
+work it cites [2]; this module implements ArrayStore-style *regular
+range partitioning*: the array is split into contiguous bands along one
+dimension, one band per node.
+
+The partitioner is pure geometry: it maps cells and query regions onto
+(node, local-coordinate) pairs.  The coordinator composes it with one
+:class:`~repro.storage.manager.VersionedStorageManager` per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import DimensionError, StorageError
+
+
+@dataclass(frozen=True)
+class Band:
+    """One node's share: a zero-based inclusive slab along one axis."""
+
+    node: int
+    lo: int
+    hi: int
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo + 1
+
+
+class RangePartitioner:
+    """Contiguous equal bands along a chosen dimension."""
+
+    def __init__(self, shape: tuple[int, ...], nodes: int,
+                 axis: int = 0):
+        if nodes < 1:
+            raise StorageError("need at least one node")
+        if not 0 <= axis < len(shape):
+            raise DimensionError(
+                f"axis {axis} out of range for shape {shape}")
+        if shape[axis] < nodes:
+            raise StorageError(
+                f"dimension {axis} has {shape[axis]} cells; cannot give "
+                f"each of {nodes} nodes a nonempty band")
+        self.shape = tuple(shape)
+        self.nodes = nodes
+        self.axis = axis
+
+        extent = shape[axis]
+        base = extent // nodes
+        remainder = extent % nodes
+        self.bands: list[Band] = []
+        cursor = 0
+        for node in range(nodes):
+            length = base + (1 if node < remainder else 0)
+            self.bands.append(Band(node, cursor, cursor + length - 1))
+            cursor += length
+
+    # ------------------------------------------------------------------
+    def band_of(self, node: int) -> Band:
+        if not 0 <= node < self.nodes:
+            raise StorageError(f"no node {node} (cluster has "
+                               f"{self.nodes})")
+        return self.bands[node]
+
+    def local_shape(self, node: int) -> tuple[int, ...]:
+        """The shape of one node's partition."""
+        band = self.band_of(node)
+        shape = list(self.shape)
+        shape[self.axis] = band.length
+        return tuple(shape)
+
+    def node_for_cell(self, cell: tuple[int, ...]) -> int:
+        """The node owning one zero-based cell."""
+        coordinate = cell[self.axis]
+        for band in self.bands:
+            if band.lo <= coordinate <= band.hi:
+                return band.node
+        raise DimensionError(
+            f"cell {cell} outside partitioned extent")
+
+    def to_local(self, node: int,
+                 cell: tuple[int, ...]) -> tuple[int, ...]:
+        """Translate a global cell into a node's local coordinates."""
+        band = self.band_of(node)
+        local = list(cell)
+        local[self.axis] = cell[self.axis] - band.lo
+        return tuple(local)
+
+    def bands_overlapping(self, lo: tuple[int, ...],
+                          hi: tuple[int, ...]) -> list[Band]:
+        """Nodes whose band intersects a zero-based inclusive region."""
+        return [band for band in self.bands
+                if band.lo <= hi[self.axis] and lo[self.axis] <= band.hi]
+
+    def clip_region(self, band: Band, lo: tuple[int, ...],
+                    hi: tuple[int, ...]
+                    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """A region clipped to one band, in that node's local frame."""
+        local_lo = list(lo)
+        local_hi = list(hi)
+        local_lo[self.axis] = max(lo[self.axis], band.lo) - band.lo
+        local_hi[self.axis] = min(hi[self.axis], band.hi) - band.lo
+        return tuple(local_lo), tuple(local_hi)

@@ -1,0 +1,66 @@
+"""Compression codec interface.
+
+Section III-B.2: "Our system is able to compress individual versions using
+popular compression schemes ... Run-Length encoding, Null Suppression, and
+Lempel-Ziv compression.  Additionally, we added compression methods based
+on the JPEG2000 and PNG compressors."
+
+Every codec maps a numpy array to a self-describing byte string and back.
+Codecs must be *lossless* for every supported dtype: ``decode(encode(a))``
+returns an array equal to ``a`` bit-for-bit (NaN payloads included).  The
+chunk store treats codec output as opaque bytes; the codec name is
+recorded in the version metadata so the select path knows how to decode.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Codec(ABC):
+    """A lossless array compressor."""
+
+    #: Registry key and the name recorded in version metadata.
+    name: str = "abstract"
+
+    @abstractmethod
+    def encode(self, array: np.ndarray) -> bytes:
+        """Compress an array into a self-describing byte string."""
+
+    @abstractmethod
+    def decode(self, data: bytes) -> np.ndarray:
+        """Recover the exact original array from :meth:`encode` output."""
+
+    def ratio(self, array: np.ndarray) -> float:
+        """Convenience: compressed bytes / raw bytes for an array."""
+        raw = max(1, np.asarray(array).nbytes)
+        return len(self.encode(array)) / raw
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class IdentityCodec(Codec):
+    """Stores the raw array bytes with only the header added.
+
+    This is the "no compression" baseline used throughout the paper's
+    evaluation tables (the ``None`` rows of Table V).
+    """
+
+    name = "none"
+
+    def encode(self, array: np.ndarray) -> bytes:
+        from repro.core.serial import pack_array_header
+
+        array = np.ascontiguousarray(array)
+        return pack_array_header(array.dtype, array.shape) + array.tobytes()
+
+    def decode(self, data: bytes) -> np.ndarray:
+        from repro.core.serial import unpack_array_header
+
+        dtype, shape, offset = unpack_array_header(data)
+        count = int(np.prod(shape)) if shape else 1
+        flat = np.frombuffer(data, dtype=dtype, count=count, offset=offset)
+        return flat.reshape(shape).copy()

@@ -1,0 +1,192 @@
+"""Pure-Python LZW, the dictionary variant of Lempel-Ziv.
+
+The paper's description of LZ — "accumulating a dictionary of known
+patterns" — is literally LZW (LZ78 family).  The default ``lz`` codec in
+this library is the faster DEFLATE wrapper; this codec exists as a
+from-scratch dictionary implementation used in ablation benchmarks and as
+an executable specification for tests (the two must agree on round-trips,
+not on byte output).
+
+Codes are emitted at a variable width that grows with the dictionary, as
+in GIF/TIFF LZW.  The dictionary is reset when it reaches ``max_codes``
+entries, bounding memory for large inputs.
+
+On-disk layout::
+
+    array header (dtype, shape)
+    i64  number of codes
+    u8   reserved (dictionary reset policy version)
+    packed variable-width codes, flattened to a bitstream (LSB-first)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Codec
+from repro.core.errors import CodecError
+from repro.core.serial import (
+    pack_array_header,
+    pack_i64,
+    pack_u8,
+    unpack_array_header,
+    unpack_i64,
+    unpack_u8,
+)
+
+_RESET_POLICY_VERSION = 1
+
+
+class LZWCodec(Codec):
+    """From-scratch LZW over the raw cell bytes."""
+
+    name = "lzw"
+
+    def __init__(self, max_code_bits: int = 16):
+        if not 9 <= max_code_bits <= 24:
+            raise CodecError("max_code_bits must be in [9, 24]")
+        self.max_code_bits = max_code_bits
+        self.max_codes = 1 << max_code_bits
+
+    # ------------------------------------------------------------------
+    def encode(self, array: np.ndarray) -> bytes:
+        array = np.ascontiguousarray(array)
+        header = pack_array_header(array.dtype, array.shape)
+        data = array.tobytes()
+        codes, widths = self._compress(data)
+        bitstream = _pack_variable(codes, widths)
+        return b"".join([
+            header,
+            pack_i64(len(codes)),
+            pack_u8(_RESET_POLICY_VERSION),
+            bitstream,
+        ])
+
+    def decode(self, data: bytes) -> np.ndarray:
+        dtype, shape, offset = unpack_array_header(data)
+        code_count, offset = unpack_i64(data, offset)
+        policy, offset = unpack_u8(data, offset)
+        if policy != _RESET_POLICY_VERSION:
+            raise CodecError(f"unsupported LZW stream version {policy}")
+        raw = self._decompress(data[offset:], code_count)
+        count = int(np.prod(shape)) if shape else 1
+        flat = np.frombuffer(raw, dtype=dtype, count=count)
+        return flat.reshape(shape).copy()
+
+    # ------------------------------------------------------------------
+    def _compress(self, data: bytes) -> tuple[list[int], list[int]]:
+        """LZW core; returns the code sequence and per-code bit widths."""
+        dictionary: dict[bytes, int] = {bytes([i]): i for i in range(256)}
+        next_code = 256
+        width = 9
+        codes: list[int] = []
+        widths: list[int] = []
+        if not data:
+            return codes, widths
+
+        phrase = bytes([data[0]])
+        for byte in data[1:]:
+            candidate = phrase + bytes([byte])
+            if candidate in dictionary:
+                phrase = candidate
+                continue
+            codes.append(dictionary[phrase])
+            widths.append(width)
+            dictionary[candidate] = next_code
+            next_code += 1
+            if next_code > (1 << width) and width < self.max_code_bits:
+                width += 1
+            if next_code >= self.max_codes:
+                dictionary = {bytes([i]): i for i in range(256)}
+                next_code = 256
+                width = 9
+            phrase = bytes([byte])
+        codes.append(dictionary[phrase])
+        widths.append(width)
+        return codes, widths
+
+    def _decompress(self, bitstream: bytes, code_count: int) -> bytes:
+        """Inverse of :meth:`_compress`, replaying dictionary growth.
+
+        The encoder updates ``next_code``/``width`` (and possibly resets
+        the dictionary) *after emitting* each code, so the decoder must
+        apply the identical bookkeeping *before reading* the next code —
+        otherwise the variable code widths drift out of sync.
+        """
+        if code_count == 0:
+            return b""
+        reader = _BitReader(bitstream)
+        table: dict[int, bytes] = {i: bytes([i]) for i in range(256)}
+        next_code = 256
+        width = 9
+
+        first = reader.read(width)
+        if first not in table:
+            raise CodecError(f"LZW: invalid initial code {first}")
+        output = bytearray(table[first])
+        previous = table[first]
+        for _ in range(code_count - 1):
+            # Bookkeeping the encoder performed after its previous emit:
+            # it inserted a candidate at `pending`, bumped next_code and
+            # possibly the width, and possibly reset the dictionary
+            # (wiping the fresh insertion).
+            pending = next_code
+            next_code += 1
+            if next_code > (1 << width) and width < self.max_code_bits:
+                width += 1
+            was_reset = next_code >= self.max_codes
+            if was_reset:
+                table = {i: bytes([i]) for i in range(256)}
+                next_code = 256
+                width = 9
+
+            code = reader.read(width)
+            if was_reset:
+                if code not in table:
+                    raise CodecError(f"LZW: invalid code {code} after reset")
+                entry = table[code]
+            elif code == pending:
+                # KwKwK case: the code names the entry being defined.
+                entry = previous + previous[:1]
+                table[pending] = entry
+            elif code in table:
+                entry = table[code]
+                table[pending] = previous + entry[:1]
+            else:
+                raise CodecError(f"LZW: invalid code {code}")
+            output.extend(entry)
+            previous = entry
+        return bytes(output)
+
+
+class _BitReader:
+    """Reads LSB-first variable-width codes from a byte string."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._bit_position = 0
+
+    def read(self, width: int) -> int:
+        value = 0
+        for out_bit in range(width):
+            byte_index, bit_index = divmod(self._bit_position, 8)
+            if byte_index >= len(self._data):
+                raise CodecError("LZW bitstream truncated")
+            bit = (self._data[byte_index] >> bit_index) & 1
+            value |= bit << out_bit
+            self._bit_position += 1
+        return value
+
+
+def _pack_variable(codes: list[int], widths: list[int]) -> bytes:
+    """Pack variable-width codes LSB-first into a byte string."""
+    total_bits = sum(widths)
+    out = bytearray((total_bits + 7) // 8)
+    position = 0
+    for code, width in zip(codes, widths):
+        for bit in range(width):
+            if (code >> bit) & 1:
+                byte_index, bit_index = divmod(position + bit, 8)
+                out[byte_index] |= 1 << bit_index
+        position += width
+    return bytes(out)

@@ -1,0 +1,102 @@
+"""Null suppression: drop leading zero bytes of each cell.
+
+Null suppression is the classic database compression scheme (Section
+III-B.2 cites it from the SciDB compression library): integer values that
+are small relative to their declared width waste high-order zero bytes,
+so each cell is stored as a short length code plus only its significant
+bytes.
+
+The implementation is fully vectorized: cells are viewed as little-endian
+byte rows, per-cell significant lengths are computed with an ``argmax``
+over the reversed nonzero mask, and the surviving bytes are gathered with
+a single boolean mask.
+
+Float arrays are bit-cast to the same-width unsigned integers first; this
+keeps the codec lossless for every dtype (though floats rarely have zero
+high bytes, mirroring the real scheme's ineffectiveness on floats).
+
+On-disk layout::
+
+    array header (dtype, shape)
+    u8   bits per length code
+    packed per-cell byte lengths (bitpack)
+    surviving bytes, cell-major
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Codec
+from repro.core import bitpack
+from repro.core.errors import CodecError
+from repro.core.serial import (
+    pack_array_header,
+    pack_u8,
+    unpack_array_header,
+    unpack_u8,
+)
+
+
+def _byte_view(array: np.ndarray) -> np.ndarray:
+    """(n, itemsize) little-endian byte matrix of the flattened cells."""
+    flat = np.ascontiguousarray(array).ravel()
+    itemsize = flat.dtype.itemsize
+    rows = flat.view(np.uint8).reshape(flat.size, itemsize)
+    if flat.dtype.byteorder == ">":  # pragma: no cover - BE platforms only
+        rows = rows[:, ::-1]
+    return rows
+
+
+class NullSuppressionCodec(Codec):
+    """Per-cell leading-zero-byte suppression."""
+
+    name = "null-suppression"
+
+    def encode(self, array: np.ndarray) -> bytes:
+        array = np.ascontiguousarray(array)
+        header = pack_array_header(array.dtype, array.shape)
+        if array.size == 0:
+            return header + pack_u8(0)
+        rows = _byte_view(array)
+        itemsize = rows.shape[1]
+
+        nonzero = rows != 0
+        # Significant length = index of the highest nonzero byte + 1;
+        # all-zero cells take length 0.
+        reversed_mask = nonzero[:, ::-1]
+        first_from_top = np.argmax(reversed_mask, axis=1)
+        any_nonzero = reversed_mask.any(axis=1)
+        lengths = np.where(any_nonzero, itemsize - first_from_top, 0)
+
+        keep = np.arange(itemsize)[None, :] < lengths[:, None]
+        payload = rows[keep].tobytes()
+
+        bits = bitpack.required_bits(itemsize)
+        packed_lengths = bitpack.pack_unsigned(
+            lengths.astype(np.uint64), bits)
+        return b"".join([header, pack_u8(bits), packed_lengths, payload])
+
+    def decode(self, data: bytes) -> np.ndarray:
+        dtype, shape, offset = unpack_array_header(data)
+        bits, offset = unpack_u8(data, offset)
+        total = int(np.prod(shape)) if shape else 1
+        if total == 0:
+            return np.zeros(shape, dtype=dtype)
+        itemsize = np.dtype(dtype).itemsize
+
+        packed_len = bitpack.packed_size(total, bits)
+        lengths = bitpack.unpack_unsigned(
+            data[offset:offset + packed_len], bits, total).astype(np.int64)
+        offset += packed_len
+        if int(lengths.max(initial=0)) > itemsize:
+            raise CodecError("null-suppression length exceeds cell width")
+
+        payload = np.frombuffer(data, dtype=np.uint8,
+                                count=int(lengths.sum()), offset=offset)
+        rows = np.zeros((total, itemsize), dtype=np.uint8)
+        keep = np.arange(itemsize)[None, :] < lengths[:, None]
+        rows[keep] = payload
+        if np.dtype(dtype).byteorder == ">":  # pragma: no cover
+            rows = rows[:, ::-1]
+        return rows.reshape(-1).view(dtype)[:total].reshape(shape).copy()

@@ -1,0 +1,90 @@
+"""Run-length encoding.
+
+The paper: "Run-length simply stores a list of tuples of the form
+(value, # of repetitions), to eliminate repeated values."
+
+Runs are detected on the *bit patterns* of cells (via an unsigned byte
+view), not on numeric equality, so that NaNs with identical payloads form
+runs and ``-0.0`` / ``+0.0`` are kept distinct — the codec is bit-exact.
+
+On-disk layout::
+
+    array header (dtype, shape)
+    u8   bits per run length
+    i64  number of runs
+    packed run lengths (bitpack, LSB-first)
+    raw run values (native dtype bytes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Codec
+from repro.core import bitpack
+from repro.core.errors import CodecError
+from repro.core.serial import (
+    pack_array_header,
+    pack_i64,
+    pack_u8,
+    unpack_array_header,
+    unpack_i64,
+    unpack_u8,
+)
+
+
+class RunLengthCodec(Codec):
+    """Lossless run-length encoder over flattened (row-major) cells."""
+
+    name = "rle"
+
+    def encode(self, array: np.ndarray) -> bytes:
+        array = np.ascontiguousarray(array)
+        header = pack_array_header(array.dtype, array.shape)
+        flat = array.ravel()
+        if flat.size == 0:
+            return header + pack_u8(0) + pack_i64(0)
+
+        # Compare bit patterns byte-wise so NaN == NaN for run purposes.
+        as_bytes = flat.view(np.uint8).reshape(flat.size, array.dtype.itemsize)
+        changed = np.any(as_bytes[1:] != as_bytes[:-1], axis=1)
+        starts = np.concatenate(([0], np.flatnonzero(changed) + 1))
+        ends = np.concatenate((starts[1:], [flat.size]))
+        lengths = (ends - starts).astype(np.uint64)
+        values = flat[starts]
+
+        # Lengths are >= 1; store length-1 so all-singleton arrays pack to
+        # zero bits.
+        codes = lengths - np.uint64(1)
+        bits = bitpack.required_bits_for(codes)
+        packed = bitpack.pack_unsigned(codes, bits)
+        return b"".join([
+            header,
+            pack_u8(bits),
+            pack_i64(len(values)),
+            packed,
+            values.tobytes(),
+        ])
+
+    def decode(self, data: bytes) -> np.ndarray:
+        dtype, shape, offset = unpack_array_header(data)
+        bits, offset = unpack_u8(data, offset)
+        run_count, offset = unpack_i64(data, offset)
+        total = int(np.prod(shape)) if shape else 1
+        if run_count == 0:
+            if total != 0:
+                raise CodecError("RLE stream has no runs for non-empty array")
+            return np.zeros(shape, dtype=dtype)
+
+        packed_len = bitpack.packed_size(run_count, bits)
+        codes = bitpack.unpack_unsigned(
+            data[offset:offset + packed_len], bits, run_count)
+        offset += packed_len
+        lengths = codes.astype(np.int64) + 1
+        values = np.frombuffer(data, dtype=dtype, count=run_count,
+                               offset=offset)
+        if int(lengths.sum()) != total:
+            raise CodecError(
+                f"RLE run lengths sum to {int(lengths.sum())}, "
+                f"expected {total}")
+        return np.repeat(values, lengths).reshape(shape)

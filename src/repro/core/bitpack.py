@@ -1,0 +1,127 @@
+"""Vectorized D-bit packing of integer codes.
+
+Section III-B.3 of the paper stores a delta "as a dense collection of
+values of length D bits", where D is the smallest bit width that can
+encode every cell of the delta.  This module provides the low-level
+packing machinery:
+
+* :func:`required_bits` — the minimal D for a maximum code value,
+  including the degenerate D = 0 case for all-zero deltas ("the system
+  also supports bit depths of 0 ... if Ai and Aj are identical, the delta
+  data will use negligible space on disk");
+* :func:`pack_unsigned` / :func:`unpack_unsigned` — lossless D-bit
+  packing of unsigned codes into a byte string, fully vectorized;
+* :func:`zigzag_encode` / :func:`zigzag_decode` — the standard mapping of
+  signed deltas onto small unsigned codes (0, -1, 1, -2, ... -> 0, 1, 2,
+  3, ...), so that deltas centred on zero pack tightly.
+
+All functions operate on flat arrays; callers reshape as needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import CodecError
+
+#: Hard upper bound on bit width — codes are manipulated as uint64.
+MAX_BITS = 64
+
+
+def required_bits(max_value: int) -> int:
+    """Smallest bit width that can represent every value in [0, max_value].
+
+    >>> required_bits(0)
+    0
+    >>> required_bits(1)
+    1
+    >>> required_bits(255)
+    8
+    >>> required_bits(256)
+    9
+    """
+    if max_value < 0:
+        raise CodecError(f"max_value must be unsigned, got {max_value}")
+    return int(max_value).bit_length()
+
+
+def required_bits_for(values: np.ndarray) -> int:
+    """Smallest bit width covering every code in an unsigned array."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0
+    return required_bits(int(values.max()))
+
+
+def pack_unsigned(values: np.ndarray, bits: int) -> bytes:
+    """Pack unsigned integer codes into ``bits`` bits each, LSB-first.
+
+    ``values`` must already fit in ``bits`` bits; violations raise
+    :class:`~repro.core.errors.CodecError` rather than silently wrapping.
+    ``bits`` = 0 returns an empty byte string (valid only when every code
+    is zero).
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64).ravel()
+    if not 0 <= bits <= MAX_BITS:
+        raise CodecError(f"bit width {bits} outside [0, {MAX_BITS}]")
+    if bits == 0:
+        if values.size and int(values.max()) != 0:
+            raise CodecError("bit width 0 requires all-zero codes")
+        return b""
+    if values.size == 0:
+        return b""
+    if bits < MAX_BITS and int(values.max()) >> bits:
+        raise CodecError(
+            f"value {int(values.max())} does not fit in {bits} bits")
+    shifts = np.arange(bits, dtype=np.uint64)
+    bit_matrix = ((values[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bit_matrix.ravel(), bitorder="little").tobytes()
+
+
+def unpack_unsigned(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_unsigned`; returns a uint64 array of ``count``."""
+    if not 0 <= bits <= MAX_BITS:
+        raise CodecError(f"bit width {bits} outside [0, {MAX_BITS}]")
+    if count < 0:
+        raise CodecError(f"count must be non-negative, got {count}")
+    if bits == 0 or count == 0:
+        return np.zeros(count, dtype=np.uint64)
+    needed = (count * bits + 7) // 8
+    if len(data) < needed:
+        raise CodecError(
+            f"packed stream too short: need {needed} bytes, have {len(data)}")
+    raw = np.frombuffer(data, dtype=np.uint8, count=needed)
+    flat_bits = np.unpackbits(raw, bitorder="little", count=count * bits)
+    bit_matrix = flat_bits.reshape(count, bits).astype(np.uint64)
+    weights = np.uint64(1) << np.arange(bits, dtype=np.uint64)
+    return bit_matrix @ weights
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed int64 values onto unsigned codes: 0,-1,1,-2 -> 0,1,2,3."""
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    return ((values << 1) ^ (values >> 63)).view(np.uint64)
+
+
+def zigzag_decode(codes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    codes = np.ascontiguousarray(codes, dtype=np.uint64)
+    return ((codes >> np.uint64(1)).view(np.int64)
+            ^ -(codes & np.uint64(1)).view(np.int64))
+
+
+def packed_size(count: int, bits: int) -> int:
+    """Bytes used by ``count`` codes of ``bits`` bits (no header)."""
+    return (count * bits + 7) // 8
+
+
+def pack_signed(values: np.ndarray) -> tuple[bytes, int]:
+    """Pack signed integers at minimal width via zigzag; returns (data, bits)."""
+    codes = zigzag_encode(values)
+    bits = required_bits_for(codes)
+    return pack_unsigned(codes, bits), bits
+
+
+def unpack_signed(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_signed`; returns an int64 array."""
+    return zigzag_decode(unpack_unsigned(data, bits, count))

@@ -1,0 +1,72 @@
+"""The paper's synthetic periodic data sets (Section V-D).
+
+"These data sets have identical arrays that re-occur every n versions.
+E.g., for n = 2, there are three arrays that occur in the pattern
+A1, A2, A3, A1, A2, A3 ... selected so that each of the n arrays doesn't
+difference well against the other n - 1 arrays.  Here, we had 40 arrays,
+each 8 MB (total size 320 MB with linear deltas); the optimal algorithm
+for n = 2 used 17 MB and for n = 3 used 21 MB, finding the correct
+encoding in both cases."
+
+(Note the paper's wording: its "n = 2" pattern cycles through *three*
+distinct arrays; we follow that reading by exposing ``distinct`` as the
+number of distinct patterns directly, with helpers matching the paper's
+two configurations.)
+
+Distinct patterns are independent uniform random arrays — maximally
+incompressible against each other — and recurrences are exact, so the
+optimal layout stores each distinct pattern once and every recurrence as
+a near-zero delta, while a linear chain pays a full-entropy delta at
+every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def periodic_series(total: int, distinct: int,
+                    shape: tuple[int, int] = (64, 64), *,
+                    dtype=np.int32, seed: int = 40,
+                    noise_cells: int = 0) -> list[np.ndarray]:
+    """``total`` versions cycling through ``distinct`` random patterns.
+
+    ``noise_cells`` > 0 perturbs that many cells per recurrence, turning
+    exact recurrences into near-recurrences (used in ablations).
+    """
+    if distinct < 1:
+        raise ValueError("need at least one distinct pattern")
+    rng = np.random.default_rng(seed)
+    info = np.iinfo(dtype)
+    # Full-range uniform values: the zigzag codes of a cross-pattern
+    # delta need *more* bits than the cells themselves, so distinct
+    # patterns "don't difference well against the other n-1 arrays" —
+    # delta-encoding across patterns costs strictly more than
+    # materializing, exactly the paper's construction.
+    patterns = [
+        rng.integers(info.min, info.max, size=shape,
+                     endpoint=True, dtype=dtype)
+        for _ in range(distinct)
+    ]
+    versions = []
+    for index in range(total):
+        frame = patterns[index % distinct].copy()
+        if noise_cells:
+            flat = frame.ravel()
+            cells = rng.choice(flat.size, size=noise_cells, replace=False)
+            flat[cells] += rng.integers(1, 4, size=noise_cells) \
+                .astype(dtype)
+        versions.append(frame)
+    return versions
+
+
+def paper_n2_series(total: int = 40,
+                    shape: tuple[int, int] = (64, 64)) -> list[np.ndarray]:
+    """The paper's "n = 2" configuration: three recurring arrays."""
+    return periodic_series(total, distinct=3, shape=shape, seed=2)
+
+
+def paper_n3_series(total: int = 40,
+                    shape: tuple[int, int] = (64, 64)) -> list[np.ndarray]:
+    """The paper's "n = 3" configuration: four recurring arrays."""
+    return periodic_series(total, distinct=4, shape=shape, seed=3)

@@ -1,0 +1,78 @@
+"""Automatic encoding choice: materialize vs. delta, and which delta.
+
+Section III-B.3: "if an array would use less space on disk if stored
+without delta compression, the system will choose not to use it.  Disk
+space usage is calculated by trying both methods and choosing the more
+economical one."  Section II-A adds that "delta-ing is performed
+automatically by comparing the new version to versions already in the
+system" — the user never has to supply the delta-list form to benefit.
+
+:func:`choose_encoding` implements that decision for one array (or one
+chunk): it compares the materialized size against the candidate delta
+codecs' sizes and returns the cheapest plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import Codec, IdentityCodec
+from repro.delta.base import DeltaCodec
+from repro.delta.hybrid import HybridDeltaCodec
+from repro.delta.sparse import SparseDeltaCodec
+
+
+@dataclass(frozen=True)
+class EncodingDecision:
+    """The outcome of the materialize-or-delta comparison.
+
+    ``delta_codec`` is None when materializing wins; otherwise it names
+    the winning delta codec.  ``size`` is the encoded byte count of the
+    winning representation and ``payload`` its bytes.
+    """
+
+    delta_codec: str | None
+    size: int
+    payload: bytes
+
+    @property
+    def is_delta(self) -> bool:
+        return self.delta_codec is not None
+
+
+def default_delta_candidates() -> tuple[DeltaCodec, ...]:
+    """The delta codecs tried by default on the insert path.
+
+    The hybrid codec subsumes dense and sparse in size (its cost search
+    includes both extremes), so trying hybrid plus plain sparse keeps the
+    insert path fast while matching the paper's behaviour.
+    """
+    return (HybridDeltaCodec(), SparseDeltaCodec())
+
+
+def choose_encoding(target: np.ndarray, base: np.ndarray | None,
+                    compressor: Codec | None = None,
+                    candidates: tuple[DeltaCodec, ...] | None = None,
+                    ) -> EncodingDecision:
+    """Pick the cheapest representation of ``target``.
+
+    ``base`` is the version the optimizer proposes to delta against
+    (None forces materialization).  ``compressor`` is applied to the
+    materialized representation; delta payloads carry their own optional
+    LZ stage.
+    """
+    compressor = compressor or IdentityCodec()
+    materialized = compressor.encode(target)
+    best = EncodingDecision(delta_codec=None, size=len(materialized),
+                            payload=materialized)
+    if base is None:
+        return best
+
+    for codec in candidates or default_delta_candidates():
+        payload = codec.encode(target, base)
+        if len(payload) < best.size:
+            best = EncodingDecision(delta_codec=codec.name,
+                                    size=len(payload), payload=payload)
+    return best

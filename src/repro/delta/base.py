@@ -1,0 +1,82 @@
+"""Delta codec interface.
+
+A delta codec encodes a *target* version as a difference against a *base*
+version of identical shape and dtype (Section III-B.3).  Codecs that set
+``bidirectional = True`` can reconstruct either endpoint from the other —
+the property Observation 2's cycle analysis relies on ("our system can
+reconstruct the versions in both directions, by adding or subtracting the
+delta").  The MPEG-2-like and BSDiff codecs are inherently directional.
+
+Framing shared by all codecs::
+
+    array header (dtype, shape)     - of the target/base arrays
+    u8 delta mode                   - arithmetic (ints) or XOR (floats)
+    codec-specific payload
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core import numeric
+from repro.core.errors import CodecError
+from repro.core.serial import (
+    pack_array_header,
+    pack_u8,
+    unpack_array_header,
+    unpack_u8,
+)
+
+_MODE_TO_TAG = {numeric.ARITHMETIC: 0, numeric.XOR: 1}
+_TAG_TO_MODE = {tag: mode for mode, tag in _MODE_TO_TAG.items()}
+
+
+class DeltaCodec(ABC):
+    """Encodes one array version as a delta against another."""
+
+    #: Registry key and the name recorded in version metadata.
+    name: str = "abstract"
+    #: Whether decode_backward is supported.
+    bidirectional: bool = True
+
+    # ------------------------------------------------------------------
+    # Framing helpers shared by implementations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _frame(target: np.ndarray, mode: str) -> bytes:
+        return (pack_array_header(target.dtype, target.shape)
+                + pack_u8(_MODE_TO_TAG[mode]))
+
+    @staticmethod
+    def _unframe(data: bytes) -> tuple[np.dtype, tuple[int, ...], str, int]:
+        dtype, shape, offset = unpack_array_header(data)
+        tag, offset = unpack_u8(data, offset)
+        if tag not in _TAG_TO_MODE:
+            raise CodecError(f"unknown delta mode tag {tag}")
+        return dtype, shape, _TAG_TO_MODE[tag], offset
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def encode(self, target: np.ndarray, base: np.ndarray) -> bytes:
+        """Encode ``target`` as a delta against ``base``."""
+
+    @abstractmethod
+    def decode_forward(self, data: bytes, base: np.ndarray) -> np.ndarray:
+        """Reconstruct the target given the base it was encoded against."""
+
+    def decode_backward(self, data: bytes, target: np.ndarray) -> np.ndarray:
+        """Reconstruct the base given the target (bidirectional codecs)."""
+        raise CodecError(
+            f"delta codec {self.name!r} is directional; "
+            "the base cannot be reconstructed from the target")
+
+    def encoded_size(self, target: np.ndarray, base: np.ndarray) -> int:
+        """Exact encoded size; codecs may override with a cheaper estimate."""
+        return len(self.encode(target, base))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,232 @@
+"""Shared encodings of delta *code arrays*.
+
+Every delta codec in this package first reduces the cell-wise difference
+of two versions to a flat array of unsigned 64-bit *codes* (arithmetic
+deltas are zigzag-mapped so small signed differences become small codes;
+float XOR deltas are already unsigned).  The three storage strategies of
+Section III-B.3 then apply to the code array:
+
+* **dense** — every code at the minimal uniform width D;
+* **sparse** — positions and values of the nonzero codes only;
+* **hybrid** — "if more than a fraction F of cells can be encoded using
+  D' > D bits per cell, we create a separate matrix and store cells that
+  require D' bits separately": a D-bit dense array for the small codes
+  plus a sparse outlier table, with D chosen by exact cost minimization.
+
+Each strategy has an encoder, a decoder, and a *size estimator* that
+predicts the encoded byte count without materializing it — the estimators
+feed the Materialization Matrix (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import bitpack, numeric
+from repro.core.errors import CodecError
+from repro.core.serial import (
+    pack_i64,
+    pack_u8,
+    unpack_i64,
+    unpack_u8,
+)
+
+
+def delta_to_codes(delta: np.ndarray, mode: str) -> np.ndarray:
+    """Map a raw delta array onto unsigned codes."""
+    if mode == numeric.ARITHMETIC:
+        return bitpack.zigzag_encode(delta.ravel())
+    if mode == numeric.XOR:
+        return np.ascontiguousarray(delta, dtype=np.uint64).ravel()
+    raise CodecError(f"unknown delta mode {mode!r}")
+
+
+def codes_to_delta(codes: np.ndarray, mode: str) -> np.ndarray:
+    """Inverse of :func:`delta_to_codes` (still flat)."""
+    if mode == numeric.ARITHMETIC:
+        return bitpack.zigzag_decode(codes)
+    if mode == numeric.XOR:
+        return np.ascontiguousarray(codes, dtype=np.uint64)
+    raise CodecError(f"unknown delta mode {mode!r}")
+
+
+# ----------------------------------------------------------------------
+# Dense strategy
+# ----------------------------------------------------------------------
+def dense_size(codes: np.ndarray) -> int:
+    """Encoded bytes of the dense strategy (1-byte width header)."""
+    bits = bitpack.required_bits_for(codes)
+    return 1 + bitpack.packed_size(codes.size, bits)
+
+
+def encode_dense(codes: np.ndarray) -> bytes:
+    """Dense D-bit encoding: ``u8 bits`` + packed codes."""
+    bits = bitpack.required_bits_for(codes)
+    return pack_u8(bits) + bitpack.pack_unsigned(codes, bits)
+
+
+def decode_dense(data: bytes, offset: int, count: int
+                 ) -> tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_dense`; returns ``(codes, next_offset)``."""
+    bits, offset = unpack_u8(data, offset)
+    packed_len = bitpack.packed_size(count, bits)
+    codes = bitpack.unpack_unsigned(
+        data[offset:offset + packed_len], bits, count)
+    return codes, offset + packed_len
+
+
+# ----------------------------------------------------------------------
+# Sparse strategy
+# ----------------------------------------------------------------------
+def sparse_size(codes: np.ndarray) -> int:
+    """Encoded bytes of the sparse strategy without materializing it."""
+    nonzero = int(np.count_nonzero(codes))
+    position_bits = bitpack.required_bits(max(0, codes.size - 1))
+    if nonzero:
+        value_bits = bitpack.required_bits(int(codes[codes != 0].max()))
+    else:
+        value_bits = 0
+    return (8 + 1 + 1
+            + bitpack.packed_size(nonzero, position_bits)
+            + bitpack.packed_size(nonzero, value_bits))
+
+
+def encode_sparse(codes: np.ndarray) -> bytes:
+    """Sparse encoding: nonzero (position, code) pairs, both bit-packed."""
+    positions = np.flatnonzero(codes).astype(np.uint64)
+    values = codes[positions.astype(np.int64)]
+    position_bits = bitpack.required_bits(max(0, codes.size - 1))
+    value_bits = bitpack.required_bits_for(values)
+    return b"".join([
+        pack_i64(len(positions)),
+        pack_u8(position_bits),
+        pack_u8(value_bits),
+        bitpack.pack_unsigned(positions, position_bits),
+        bitpack.pack_unsigned(values, value_bits),
+    ])
+
+
+def decode_sparse(data: bytes, offset: int, count: int
+                  ) -> tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_sparse`."""
+    nonzero, offset = unpack_i64(data, offset)
+    position_bits, offset = unpack_u8(data, offset)
+    value_bits, offset = unpack_u8(data, offset)
+    positions_len = bitpack.packed_size(nonzero, position_bits)
+    positions = bitpack.unpack_unsigned(
+        data[offset:offset + positions_len], position_bits, nonzero)
+    offset += positions_len
+    values_len = bitpack.packed_size(nonzero, value_bits)
+    values = bitpack.unpack_unsigned(
+        data[offset:offset + values_len], value_bits, nonzero)
+    offset += values_len
+    codes = np.zeros(count, dtype=np.uint64)
+    index = positions.astype(np.int64)
+    if index.size and (index.max() >= count or index.min() < 0):
+        raise CodecError("sparse delta position out of range")
+    codes[index] = values
+    return codes, offset
+
+
+# ----------------------------------------------------------------------
+# Hybrid strategy
+# ----------------------------------------------------------------------
+def _split_costs(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Cost of the hybrid encoding for every candidate small-width d.
+
+    Returns ``(candidate_widths, costs, value_bits)`` where ``costs[k]``
+    is the total byte cost of storing codes < 2**widths[k] densely at
+    widths[k] bits and the rest as sparse outliers.
+    """
+    n = codes.size
+    max_bits = bitpack.required_bits_for(codes)
+    widths = np.arange(max_bits + 1)
+    if n == 0:
+        return widths, np.zeros(len(widths)), 0
+
+    sorted_codes = np.sort(codes)
+    position_bits = bitpack.required_bits(max(0, n - 1))
+    value_bits = max_bits
+    # outliers(d) = number of codes >= 2**d  (d = max_bits -> none).
+    thresholds = np.minimum(np.uint64(1) << widths.astype(np.uint64),
+                            np.uint64(np.iinfo(np.uint64).max))
+    below = np.searchsorted(sorted_codes, thresholds, side="left")
+    outliers = n - below
+    dense_bytes = (n * widths + 7) // 8
+    outlier_bytes = ((outliers * position_bits + 7) // 8
+                     + (outliers * value_bits + 7) // 8)
+    overhead = 8 + 1 + 1 + 1  # count + small width + pos/val widths
+    costs = dense_bytes + outlier_bytes + overhead
+    return widths, costs, value_bits
+
+
+def hybrid_size(codes: np.ndarray) -> int:
+    """Encoded bytes of the optimal hybrid split (estimator)."""
+    widths, costs, _ = _split_costs(codes)
+    if codes.size == 0:
+        return 11
+    return int(costs.min())
+
+
+def hybrid_split_width(codes: np.ndarray) -> int:
+    """The small-code bit width the optimal hybrid split uses."""
+    widths, costs, _ = _split_costs(codes)
+    return int(widths[int(np.argmin(costs))])
+
+
+def encode_hybrid(codes: np.ndarray) -> bytes:
+    """Optimal small/large split encoding (Section III-B.3)."""
+    n = codes.size
+    widths, costs, value_bits = _split_costs(codes)
+    small_bits = int(widths[int(np.argmin(costs))]) if n else 0
+
+    if n:
+        threshold = (np.uint64(1) << np.uint64(small_bits)) \
+            if small_bits < 64 else np.uint64(np.iinfo(np.uint64).max)
+        is_outlier = codes >= threshold if small_bits < 64 else \
+            np.zeros(n, dtype=bool)
+    else:
+        is_outlier = np.zeros(0, dtype=bool)
+
+    small = np.where(is_outlier, np.uint64(0), codes)
+    positions = np.flatnonzero(is_outlier).astype(np.uint64)
+    values = codes[is_outlier.nonzero()]
+    position_bits = bitpack.required_bits(max(0, n - 1))
+    out_value_bits = bitpack.required_bits_for(values)
+    return b"".join([
+        pack_u8(small_bits),
+        bitpack.pack_unsigned(small, small_bits),
+        pack_i64(len(positions)),
+        pack_u8(position_bits),
+        pack_u8(out_value_bits),
+        bitpack.pack_unsigned(positions, position_bits),
+        bitpack.pack_unsigned(values, out_value_bits),
+    ])
+
+
+def decode_hybrid(data: bytes, offset: int, count: int
+                  ) -> tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_hybrid`."""
+    small_bits, offset = unpack_u8(data, offset)
+    small_len = bitpack.packed_size(count, small_bits)
+    codes = bitpack.unpack_unsigned(
+        data[offset:offset + small_len], small_bits, count)
+    offset += small_len
+
+    outlier_count, offset = unpack_i64(data, offset)
+    position_bits, offset = unpack_u8(data, offset)
+    value_bits, offset = unpack_u8(data, offset)
+    positions_len = bitpack.packed_size(outlier_count, position_bits)
+    positions = bitpack.unpack_unsigned(
+        data[offset:offset + positions_len], position_bits, outlier_count)
+    offset += positions_len
+    values_len = bitpack.packed_size(outlier_count, value_bits)
+    values = bitpack.unpack_unsigned(
+        data[offset:offset + values_len], value_bits, outlier_count)
+    offset += values_len
+
+    index = positions.astype(np.int64)
+    if index.size and (index.max() >= count or index.min() < 0):
+        raise CodecError("hybrid delta outlier position out of range")
+    codes[index] = values
+    return codes, offset

@@ -1,0 +1,63 @@
+"""Version materialization algorithms (Section IV).
+
+Decides which versions of an array to store in full and which to delta
+against which others, minimizing total storage (spanning tree / forest
+algorithms) or workload I/O cost (workload-aware layouts), with
+incremental policies for newly arriving versions.
+"""
+
+from repro.materialize.layout import Layout
+from repro.materialize.matrix import MaterializationMatrix
+from repro.materialize.spanning import (
+    UnionFind,
+    algorithm1_mst,
+    algorithm2_forest,
+    kruskal_mst,
+    optimal_layout,
+    prim_mst,
+)
+from repro.materialize.updates import (
+    BatchUpdatePlanner,
+    extend_matrix,
+    incremental_insert,
+)
+from repro.materialize.spectral import SpectralEstimator
+from repro.materialize.workload_opt import (
+    RangeQuery,
+    RegionQuery,
+    SnapshotQuery,
+    WeightedQuery,
+    Workload,
+    exhaustive_optimal,
+    greedy_workload_layout,
+    head_biased_layout,
+    segmented_layout,
+    workload_aware_layout,
+    workload_cost,
+)
+
+__all__ = [
+    "BatchUpdatePlanner",
+    "Layout",
+    "MaterializationMatrix",
+    "RangeQuery",
+    "RegionQuery",
+    "SnapshotQuery",
+    "SpectralEstimator",
+    "UnionFind",
+    "WeightedQuery",
+    "Workload",
+    "algorithm1_mst",
+    "algorithm2_forest",
+    "exhaustive_optimal",
+    "extend_matrix",
+    "greedy_workload_layout",
+    "head_biased_layout",
+    "incremental_insert",
+    "kruskal_mst",
+    "optimal_layout",
+    "prim_mst",
+    "segmented_layout",
+    "workload_aware_layout",
+    "workload_cost",
+]

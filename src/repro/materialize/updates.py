@@ -1,0 +1,154 @@
+"""Handling new versions without global re-encoding (Section IV-E).
+
+"When a new version is added, we do not want to immediately re-encode
+all previous versions."  The paper offers three strategies, all
+implemented here:
+
+* :func:`extend_matrix` + :func:`incremental_insert` — "the simplest
+  option is to update the materialization matrix, and use it to compute
+  the best encoding of the new version in terms of previous versions";
+* :class:`BatchUpdatePlanner` — "accumulate a batch of K new versions,
+  and compute the optimal encoding of them together (in terms only of
+  the other versions in the batch) ... as long as K is relatively large
+  (say 10-100), it is sufficient to simply keep these batches separate.
+  This also has the effect of constraining the materialization matrix
+  size and improving query performance by avoiding very long delta
+  chains";
+* background re-organization — periodically recompute the optimal
+  layout; this is simply :func:`repro.materialize.spanning.optimal_layout`
+  applied to the refreshed matrix (storage managers expose it via
+  ``apply_layout``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.materialize.layout import Layout
+from repro.materialize.matrix import MaterializationMatrix, _delta_cost
+from repro.materialize.spanning import optimal_layout
+
+
+def extend_matrix(matrix: MaterializationMatrix,
+                  contents: dict[int, np.ndarray],
+                  new_id: int, new_array: np.ndarray, *,
+                  materialized_size: float | None = None,
+                  sample_index: np.ndarray | None = None
+                  ) -> MaterializationMatrix:
+    """Add one version's row/column to an existing matrix.
+
+    ``contents`` must provide the arrays of the existing versions (they
+    are needed for the new pairwise deltas).  Cost: n delta estimates —
+    O(n) instead of the O(n^2) full rebuild.
+    """
+    if new_id in matrix.versions:
+        raise ReproError(f"version {new_id} already in matrix")
+    missing = set(matrix.versions) - set(contents)
+    if missing:
+        raise ReproError(f"contents missing versions {sorted(missing)}")
+
+    old_n = matrix.n
+    ids = (*matrix.versions, new_id)
+    costs = np.zeros((old_n + 1, old_n + 1))
+    costs[:old_n, :old_n] = matrix.costs
+    new_flat = np.ascontiguousarray(new_array).ravel()
+    total = new_flat.size
+    for i, version in enumerate(matrix.versions):
+        other = np.ascontiguousarray(contents[version]).ravel()
+        # Canonical direction: earlier id differenced against later id,
+        # matching MaterializationMatrix.build (see _delta_cost).
+        if version < new_id:
+            cost = _delta_cost(other, new_flat, sample_index, total)
+        else:
+            cost = _delta_cost(new_flat, other, sample_index, total)
+        costs[i, old_n] = costs[old_n, i] = cost
+    costs[old_n, old_n] = (materialized_size
+                           if materialized_size is not None
+                           else new_array.nbytes)
+    return MaterializationMatrix(versions=ids, costs=costs)
+
+
+def incremental_insert(layout: Layout,
+                       matrix: MaterializationMatrix,
+                       new_id: int) -> Layout:
+    """Encode one new version without touching existing encodings.
+
+    The new version is delta'ed against whichever existing version gives
+    the smallest delta, or materialized when that is cheaper.
+    """
+    if new_id in layout.parent_of:
+        raise ReproError(f"version {new_id} already laid out")
+    best_parent: int | None = None
+    best_cost = matrix.materialize_size(new_id)
+    for version in layout.versions:
+        cost = matrix.delta_size(new_id, version)
+        if cost < best_cost:
+            best_cost = cost
+            best_parent = version
+    updated = dict(layout.parent_of)
+    updated[new_id] = best_parent
+    return Layout(updated).require_valid()
+
+
+@dataclass
+class BatchUpdatePlanner:
+    """Batch-of-K optimal encoding with separate batches (Section IV-E).
+
+    Versions accumulate in an open batch; when the batch reaches
+    ``batch_size`` it is *flushed*: the space-optimal layout over the
+    batch members alone is computed and appended to the global layout.
+    Chains therefore never span batches, which bounds both the matrix
+    construction cost and the worst-case chain length.
+    """
+
+    batch_size: int = 10
+    _pending: dict[int, np.ndarray] = field(default_factory=dict)
+    _layout: dict[int, int | None] = field(default_factory=dict)
+    _flushed_batches: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ReproError("batch_size must be >= 1")
+
+    @property
+    def layout(self) -> Layout:
+        """Layout of every flushed version (pending ones excluded)."""
+        return Layout(dict(self._layout))
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def flushed_batches(self) -> int:
+        return self._flushed_batches
+
+    def add(self, version: int, contents: np.ndarray) -> Layout | None:
+        """Queue a version; returns the batch layout on flush, else None."""
+        if version in self._pending or version in self._layout:
+            raise ReproError(f"version {version} already added")
+        self._pending[version] = np.ascontiguousarray(contents)
+        if len(self._pending) >= self.batch_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> Layout | None:
+        """Lay out the open batch (no-op when empty)."""
+        if not self._pending:
+            return None
+        matrix = MaterializationMatrix.build(self._pending)
+        batch_layout = optimal_layout(matrix)
+        self._layout.update(batch_layout.parent_of)
+        self._pending.clear()
+        self._flushed_batches += 1
+        return batch_layout
+
+    def max_chain_length(self) -> int:
+        """Longest reconstruction chain across all flushed batches."""
+        layout = self.layout
+        if not layout.parent_of:
+            return 0
+        return max(len(layout.path_to_root(v)) for v in layout.versions)

@@ -1,0 +1,38 @@
+"""Query layer: the four select primitives and the AQL dialect."""
+
+from repro.query.aql import (
+    AQLExecutor,
+    AQLResult,
+    BranchStatement,
+    CreateArrayStatement,
+    DeleteVersionStatement,
+    DropArrayStatement,
+    LoadStatement,
+    MergeStatement,
+    SelectStatement,
+    VersionsStatement,
+    parse,
+    tokenize,
+)
+from repro.query.engine import Database, spec_from_string
+from repro.query.processor import QueryProcessor, VersionSpec, parse_date
+
+__all__ = [
+    "AQLExecutor",
+    "AQLResult",
+    "BranchStatement",
+    "CreateArrayStatement",
+    "Database",
+    "DeleteVersionStatement",
+    "DropArrayStatement",
+    "LoadStatement",
+    "MergeStatement",
+    "QueryProcessor",
+    "SelectStatement",
+    "VersionSpec",
+    "VersionsStatement",
+    "parse",
+    "parse_date",
+    "spec_from_string",
+    "tokenize",
+]

@@ -1,0 +1,47 @@
+"""Chunked, no-overwrite versioned storage (Section II / III-B)."""
+
+from repro.storage.chunking import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkGrid,
+    ChunkRef,
+    stride_for,
+)
+from repro.storage.chunkstore import (
+    COLOCATED,
+    PER_VERSION,
+    ChunkLocation,
+    ChunkStore,
+)
+from repro.storage.iostats import IOStats
+from repro.storage.manager import (
+    POLICY_AUTO,
+    POLICY_CHAIN,
+    POLICY_MATERIALIZE,
+    VersionedStorageManager,
+)
+from repro.storage.metadata import (
+    ArrayRecord,
+    ChunkRecord,
+    MetadataCatalog,
+    VersionRecord,
+)
+
+__all__ = [
+    "ArrayRecord",
+    "COLOCATED",
+    "ChunkGrid",
+    "ChunkLocation",
+    "ChunkRecord",
+    "ChunkRef",
+    "ChunkStore",
+    "DEFAULT_CHUNK_BYTES",
+    "IOStats",
+    "MetadataCatalog",
+    "PER_VERSION",
+    "POLICY_AUTO",
+    "POLICY_CHAIN",
+    "POLICY_MATERIALIZE",
+    "VersionRecord",
+    "VersionedStorageManager",
+    "stride_for",
+]

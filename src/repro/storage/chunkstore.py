@@ -1,0 +1,158 @@
+"""The on-disk chunk container with both placement strategies.
+
+Section III-B.3: "we implemented two different ways of storing the deltas
+on disk: the first method stores all the deltas belonging to a given
+version together in one file, while the second method co-locates chains
+of deltas belonging to different versions but all corresponding to the
+same chunk.  Unless stated otherwise, we consider co-located chains of
+deltas in the following, since they are more efficient."
+
+* ``per-version`` placement writes
+  ``<array>/v<version>/<attribute>/<chunk-name>`` — one file per
+  (version, chunk) pair;
+* ``colocated`` placement appends every version's payload for one chunk
+  to ``<array>/chunks/<attribute>/<chunk-name>`` and addresses payloads
+  by (offset, length), so a chain of deltas for one chunk is one
+  sequential read.
+
+The store is a dumb byte container: delta/compression framing is the
+codecs' business, and which (offset, length) belongs to which version is
+recorded in the metadata catalog.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.errors import StorageError
+from repro.storage.iostats import IOStats
+
+PER_VERSION = "per-version"
+COLOCATED = "colocated"
+_PLACEMENTS = (PER_VERSION, COLOCATED)
+
+
+@dataclass(frozen=True)
+class ChunkLocation:
+    """Where one encoded chunk payload lives on disk."""
+
+    path: str
+    offset: int
+    length: int
+
+
+class ChunkStore:
+    """File-per-chunk storage with per-version or co-located placement."""
+
+    def __init__(self, root: str | os.PathLike,
+                 placement: str = COLOCATED,
+                 stats: IOStats | None = None):
+        if placement not in _PLACEMENTS:
+            raise StorageError(
+                f"unknown placement {placement!r}; expected {_PLACEMENTS}")
+        self.root = Path(root)
+        self.placement = placement
+        self.stats = stats if stats is not None else IOStats()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write_chunk(self, array: str, version: int, attribute: str,
+                    chunk_name: str, payload: bytes) -> ChunkLocation:
+        """Persist one encoded chunk payload; returns its location."""
+        if self.placement == PER_VERSION:
+            path = (self.root / array / f"v{version}" / attribute
+                    / chunk_name)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "wb") as handle:
+                handle.write(payload)
+            location = ChunkLocation(str(path.relative_to(self.root)),
+                                     0, len(payload))
+        else:
+            path = self.root / array / "chunks" / attribute / chunk_name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "ab") as handle:
+                offset = handle.tell()
+                handle.write(payload)
+            location = ChunkLocation(str(path.relative_to(self.root)),
+                                     offset, len(payload))
+        self.stats.record_write(len(payload))
+        return location
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read_chunk(self, location: ChunkLocation) -> bytes:
+        """Read one payload back by location."""
+        path = self.root / location.path
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(location.offset)
+                payload = handle.read(location.length)
+        except FileNotFoundError as exc:
+            raise StorageError(f"missing chunk file {path}") from exc
+        if len(payload) != location.length:
+            raise StorageError(
+                f"chunk file {path} truncated: wanted {location.length} "
+                f"bytes at {location.offset}, got {len(payload)}")
+        self.stats.record_read(len(payload))
+        return payload
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def delete_array(self, array: str) -> None:
+        """Remove every file belonging to one array."""
+        path = self.root / array
+        if path.exists():
+            shutil.rmtree(path)
+
+    def delete_version_files(self, array: str, version: int) -> None:
+        """Remove a version's files (meaningful for per-version placement).
+
+        Co-located files interleave many versions, so their space is
+        reclaimed by :meth:`repack` instead.
+        """
+        if self.placement == PER_VERSION:
+            path = self.root / array / f"v{version}"
+            if path.exists():
+                shutil.rmtree(path)
+
+    def repack(self, array: str,
+               keep: list[tuple[ChunkLocation, object]]
+               ) -> dict[object, ChunkLocation]:
+        """Rewrite co-located files keeping only the listed payloads.
+
+        ``keep`` pairs each surviving location with an opaque key; the
+        returned mapping gives each key's new location.  Used after
+        version deletion and by layout re-organization.
+        """
+        by_path: dict[str, list[tuple[ChunkLocation, object]]] = {}
+        for location, key in keep:
+            by_path.setdefault(location.path, []).append((location, key))
+
+        new_locations: dict[object, ChunkLocation] = {}
+        for rel_path, entries in by_path.items():
+            path = self.root / rel_path
+            payloads = []
+            for location, key in entries:
+                payloads.append((key, self.read_chunk(location)))
+            with open(path, "wb") as handle:
+                for key, payload in payloads:
+                    offset = handle.tell()
+                    handle.write(payload)
+                    new_locations[key] = ChunkLocation(
+                        rel_path, offset, len(payload))
+                    self.stats.record_write(len(payload))
+        return new_locations
+
+    def total_bytes(self, array: str | None = None) -> int:
+        """Bytes on disk under one array (or the whole store)."""
+        base = self.root / array if array else self.root
+        if not base.exists():
+            return 0
+        return sum(f.stat().st_size for f in base.rglob("*") if f.is_file())

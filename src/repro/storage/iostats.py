@@ -1,0 +1,78 @@
+"""Byte- and chunk-level I/O accounting.
+
+Section IV-D argues that "because chunks read from disk in SciDB are
+relatively large (i.e., several megabytes), disk seeks are amortized so
+that we can count the number of chunks accessed as a proxy for total I/O
+cost".  The evaluation tables report *Bytes Read* alongside wall-clock
+time.  Every read and write the chunk store performs is recorded here so
+benchmarks can report the same columns as the paper.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable I/O counters attached to a chunk store."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    chunks_read: int = 0
+    chunks_written: int = 0
+
+    def record_read(self, nbytes: int) -> None:
+        """Account one chunk read of ``nbytes``."""
+        self.bytes_read += nbytes
+        self.chunks_read += 1
+
+    def record_write(self, nbytes: int) -> None:
+        """Account one chunk write of ``nbytes``."""
+        self.bytes_written += nbytes
+        self.chunks_written += 1
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.chunks_read = 0
+        self.chunks_written = 0
+
+    def snapshot(self) -> "IOStats":
+        """An immutable copy of the current counters."""
+        return IOStats(bytes_read=self.bytes_read,
+                       bytes_written=self.bytes_written,
+                       chunks_read=self.chunks_read,
+                       chunks_written=self.chunks_written)
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Counter increments since an earlier snapshot."""
+        return IOStats(
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            chunks_read=self.chunks_read - earlier.chunks_read,
+            chunks_written=self.chunks_written - earlier.chunks_written,
+        )
+
+    @contextmanager
+    def measure(self):
+        """Context manager yielding the I/O performed inside the block.
+
+        >>> stats = IOStats()
+        >>> with stats.measure() as window:
+        ...     stats.record_read(100)
+        >>> window.bytes_read
+        100
+        """
+        before = self.snapshot()
+        window = IOStats()
+        try:
+            yield window
+        finally:
+            delta = self.delta_since(before)
+            window.bytes_read = delta.bytes_read
+            window.bytes_written = delta.bytes_written
+            window.chunks_read = delta.chunks_read
+            window.chunks_written = delta.chunks_written

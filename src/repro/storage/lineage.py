@@ -1,0 +1,157 @@
+"""Version lineage: the tree (or, with Merge, DAG) across arrays.
+
+Section II-A: "it would be helpful for a DBMS to keep track of the
+relationships between these objects" — the version hierarchy spanning
+temporal inserts, named branches, and merges.  This module materializes
+that hierarchy from the catalog and renders it for humans (text or
+Graphviz DOT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.manager import VersionedStorageManager
+
+
+@dataclass(frozen=True)
+class LineageNode:
+    """One version of one array in the global hierarchy."""
+
+    array: str
+    version: int
+    kind: str
+    timestamp: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.array}@{self.version}"
+
+
+@dataclass(frozen=True)
+class LineageEdge:
+    """A parent -> child relationship.
+
+    ``kind`` is ``"insert"`` (temporal successor), ``"branch"`` (the
+    branch root copies a source version) or ``"merge"`` (a merge
+    version replays a parent version).
+    """
+
+    parent: LineageNode
+    child: LineageNode
+    kind: str
+
+
+@dataclass
+class LineageGraph:
+    """The full version hierarchy of a store."""
+
+    nodes: list[LineageNode] = field(default_factory=list)
+    edges: list[LineageEdge] = field(default_factory=list)
+
+    def node(self, array: str, version: int) -> LineageNode:
+        for candidate in self.nodes:
+            if candidate.array == array and candidate.version == version:
+                return candidate
+        raise KeyError(f"{array}@{version} not in lineage graph")
+
+    def children_of(self, array: str, version: int) -> list[LineageNode]:
+        parent = self.node(array, version)
+        return [edge.child for edge in self.edges if edge.parent == parent]
+
+    def parents_of(self, array: str, version: int) -> list[LineageNode]:
+        child = self.node(array, version)
+        return [edge.parent for edge in self.edges if edge.child == child]
+
+    def roots(self) -> list[LineageNode]:
+        """Versions with no parent anywhere in the hierarchy."""
+        children = {edge.child for edge in self.edges}
+        return [node for node in self.nodes if node not in children]
+
+    def is_tree(self) -> bool:
+        """True when no version has multiple parents (i.e. no merges)."""
+        seen: set[LineageNode] = set()
+        for edge in self.edges:
+            if edge.child in seen:
+                return False
+            seen.add(edge.child)
+        return True
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering of the hierarchy."""
+        lines = ["digraph versions {", "  rankdir=LR;"]
+        for node in self.nodes:
+            shape = "box" if node.kind == "branch-root" else "ellipse"
+            lines.append(
+                f'  "{node.label}" [shape={shape}];')
+        styles = {"insert": "solid", "branch": "dashed", "merge": "dotted"}
+        for edge in self.edges:
+            style = styles.get(edge.kind, "solid")
+            lines.append(
+                f'  "{edge.parent.label}" -> "{edge.child.label}"'
+                f' [style={style}, label="{edge.kind}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_text(self) -> str:
+        """Indented text rendering, one tree per root."""
+        children: dict[LineageNode, list[tuple[str, LineageNode]]] = {}
+        for edge in self.edges:
+            children.setdefault(edge.parent, []).append(
+                (edge.kind, edge.child))
+
+        lines: list[str] = []
+
+        def render(node: LineageNode, indent: int, via: str) -> None:
+            marker = f" <-{via}-" if via else ""
+            lines.append("  " * indent + node.label + marker)
+            for kind, child in sorted(
+                    children.get(node, ()),
+                    key=lambda item: (item[1].array, item[1].version)):
+                render(child, indent + 1, kind)
+
+        for root in sorted(self.roots(),
+                           key=lambda n: (n.array, n.version)):
+            render(root, 0, "")
+        return "\n".join(lines)
+
+
+def build_lineage(manager: VersionedStorageManager) -> LineageGraph:
+    """Assemble the version hierarchy of every array in a store."""
+    graph = LineageGraph()
+    by_key: dict[tuple[str, int], LineageNode] = {}
+
+    for name in manager.list_arrays():
+        record = manager.catalog.get_array(name)
+        for version in manager.catalog.get_versions(record.array_id):
+            node = LineageNode(array=name, version=version.version,
+                               kind=version.kind,
+                               timestamp=version.timestamp)
+            graph.nodes.append(node)
+            by_key[(name, version.version)] = node
+
+    for name in manager.list_arrays():
+        record = manager.catalog.get_array(name)
+        for version in manager.catalog.get_versions(record.array_id):
+            child = by_key[(name, version.version)]
+            if version.parent_version is not None:
+                parent = by_key[(name, version.parent_version)]
+                graph.edges.append(LineageEdge(parent, child, "insert"))
+            merge_parents = manager.catalog.merge_parents_of(
+                record.array_id, version.version)
+            for parent_array, parent_version in merge_parents:
+                key = (parent_array, parent_version)
+                if key in by_key:
+                    graph.edges.append(
+                        LineageEdge(by_key[key], child, "merge"))
+        # Branch roots link back to the source array's version.
+        if record.parent_array is not None:
+            key = (record.parent_array, record.parent_version)
+            if key in by_key and (name, 1) in by_key:
+                graph.edges.append(LineageEdge(by_key[key],
+                                               by_key[(name, 1)],
+                                               "branch"))
+    return graph

@@ -1,0 +1,686 @@
+"""The versioned, no-overwrite storage manager (Section II).
+
+This is the paper's primary artifact: a single-node storage system that
+exposes the five basic operations — allocate a new array, delete an
+array, create a new version, delete a version, and query a version —
+under a *no-overwrite* model: committed versions are immutable and every
+update creates a new version.
+
+The insert path (Figure 1, left) runs three steps per chunk:
+
+1. **delta encoding** — the payload is compared against the base version
+   the policy selects and stored as a delta when that is smaller
+   ("delta-ing is performed automatically");
+2. **chunking / co-location** — the version is split along the fixed
+   chunk grid shared by all versions of the array;
+3. **compression** — materialized chunks go through the configured
+   compression codec before hitting disk, and the Version Metadata
+   records the location, base version and codecs of every chunk.
+
+The select path (Figure 1, right) inverts this: chunk selection against
+the metadata, reads of the (possibly co-located) delta chains, delta
+decoding from the nearest materialized ancestor, and assembly of the
+result array (Figure 2's six-chunk read pattern falls out of this).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression.registry import get_codec
+from repro.core.array import ArrayData, DeltaListPayload, Payload
+from repro.core.errors import (
+    NoOverwriteError,
+    StorageError,
+    VersionNotFoundError,
+)
+from repro.core.schema import ArraySchema
+from repro.delta.auto import choose_encoding
+from repro.delta.registry import get_delta_codec
+from repro.storage.chunking import DEFAULT_CHUNK_BYTES, ChunkGrid, ChunkRef
+from repro.storage.chunkstore import COLOCATED, ChunkStore
+from repro.storage.iostats import IOStats
+from repro.storage.metadata import (
+    ArrayRecord,
+    ChunkRecord,
+    MetadataCatalog,
+)
+
+#: Insert-time delta policies.
+POLICY_AUTO = "auto"          # try the candidate codecs, keep the smallest
+POLICY_CHAIN = "chain"        # delta against the parent (fallback: smaller)
+POLICY_MATERIALIZE = "materialize"  # never delta on insert
+_POLICIES = (POLICY_AUTO, POLICY_CHAIN, POLICY_MATERIALIZE)
+
+
+class VersionedStorageManager:
+    """Single-node versioned array storage (the paper's prototype)."""
+
+    def __init__(self, root: str | Path, *,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                 compressor: str = "none",
+                 delta_codec: str = "hybrid",
+                 delta_policy: str = POLICY_CHAIN,
+                 placement: str = COLOCATED,
+                 catalog_in_memory: bool = False,
+                 cache_chunks: int = 0):
+        if delta_policy not in _POLICIES:
+            raise StorageError(
+                f"unknown delta policy {delta_policy!r}; "
+                f"expected one of {_POLICIES}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = IOStats()
+        self.store = ChunkStore(self.root / "data", placement=placement,
+                                stats=self.stats)
+        catalog_path = None if catalog_in_memory else \
+            self.root / "metadata.db"
+        self.catalog = MetadataCatalog(catalog_path)
+        self.chunk_bytes = chunk_bytes
+        self.compressor_name = compressor
+        self.delta_codec_name = delta_codec
+        self.delta_policy = delta_policy
+        self._tick = itertools.count(1)
+        # Optional LRU cache of decoded chunks.  The paper's cost model
+        # "ignores caching effects ... since they are often negligible
+        # in our context for very large arrays"; the cache is therefore
+        # off by default and exists for interactive workloads.
+        self.cache_capacity = cache_chunks
+        self._chunk_cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Array lifecycle
+    # ------------------------------------------------------------------
+    def create_array(self, name: str, schema: ArraySchema, *,
+                     chunk_bytes: int | None = None,
+                     compressor: str | None = None,
+                     parent_array: str | None = None,
+                     parent_version: int | None = None,
+                     chunk_shape: tuple[int, ...] | None = None
+                     ) -> ArrayRecord:
+        """Allocate a new named array (the Create command).
+
+        ``chunk_shape`` fixes explicit per-dimension chunk strides
+        instead of the default even division of the byte budget.
+        """
+        if chunk_shape is not None:
+            # Validate eagerly so a bad shape fails at Create.
+            ChunkGrid(schema.shape, schema.cell_size,
+                      chunk_bytes or self.chunk_bytes, chunk_shape)
+        return self.catalog.create_array(
+            name, schema,
+            chunk_bytes=chunk_bytes or self.chunk_bytes,
+            compressor=compressor or self.compressor_name,
+            created_at=self._now(),
+            parent_array=parent_array,
+            parent_version=parent_version,
+            chunk_shape=chunk_shape)
+
+    def delete_array(self, name: str) -> None:
+        """Drop an array, its versions, and its files."""
+        record = self.catalog.get_array(name)  # existence check
+        if self.cache_capacity:
+            self._invalidate_cache(record.array_id)
+        self.catalog.delete_array(name)
+        self.store.delete_array(name)
+
+    def list_arrays(self) -> list[str]:
+        """Section II-C List operation."""
+        return self.catalog.list_arrays()
+
+    # ------------------------------------------------------------------
+    # Version creation
+    # ------------------------------------------------------------------
+    def insert(self, name: str, payload: Payload | ArrayData | np.ndarray,
+               timestamp: float | None = None) -> int:
+        """Append a new version to an array (the Insert command).
+
+        Accepts any of the paper's three payload forms (dense, sparse,
+        delta-list), a normalized :class:`ArrayData`, or a bare ndarray
+        for single-attribute arrays.
+        """
+        record = self.catalog.get_array(name)
+        parent = self.catalog.latest_version(record.array_id)
+        data = self._normalize_payload(record, payload)
+        version = (parent or 0) + 1
+        self.catalog.add_version(record.array_id, version, parent,
+                                 kind="insert",
+                                 timestamp=timestamp or self._now())
+        self._write_version(record, version, data, base_version=parent)
+        return version
+
+    def branch(self, source_name: str, source_version: int,
+               new_name: str,
+               timestamp: float | None = None) -> ArrayRecord:
+        """Create a named branch rooted at a past version (Branch).
+
+        "Branches are formed off of a particular version of an existing
+        array ... but they create a new array with a new name."  The
+        branch's version 1 has the same contents as the source version.
+        """
+        source = self.catalog.get_array(source_name)
+        contents = self.select(source_name, source_version)
+        branch_record = self.create_array(
+            new_name, source.schema,
+            chunk_bytes=source.chunk_bytes,
+            compressor=source.compressor,
+            parent_array=source_name,
+            parent_version=source_version,
+            chunk_shape=source.chunk_shape)
+        self.catalog.add_version(branch_record.array_id, 1, None,
+                                 kind="branch-root",
+                                 timestamp=timestamp or self._now())
+        self._write_version(branch_record, 1, contents, base_version=None)
+        return branch_record
+
+    def merge(self, parents: list[tuple[str, int]], new_name: str,
+              timestamp: float | None = None) -> ArrayRecord:
+        """Combine parent versions into a new sequence of arrays (Merge).
+
+        Per Section II-A, Merge "takes a collection of two or more parent
+        versions and combines them into a new sequence of arrays (it
+        does not attempt to combine data from two arrays into one
+        array)" — the result is a new array whose versions 1..k replay
+        the listed parents, with the parent links recorded so the
+        version hierarchy becomes a DAG.
+        """
+        if len(parents) < 2:
+            raise StorageError("merge requires at least two parent versions")
+        first_array = self.catalog.get_array(parents[0][0])
+        for parent_name, _ in parents:
+            if self.catalog.get_array(parent_name).schema != \
+                    first_array.schema:
+                raise StorageError(
+                    "merge parents must share the same schema")
+        merged = self.create_array(
+            new_name, first_array.schema,
+            chunk_bytes=first_array.chunk_bytes,
+            compressor=first_array.compressor,
+            chunk_shape=first_array.chunk_shape)
+        for sequence, (parent_name, parent_version) in enumerate(parents, 1):
+            contents = self.select(parent_name, parent_version)
+            self.catalog.add_version(
+                merged.array_id, sequence,
+                sequence - 1 if sequence > 1 else None,
+                kind="merge",
+                timestamp=timestamp or self._now(),
+                merge_parents=[(parent_name, parent_version)])
+            self._write_version(merged, sequence, contents,
+                                base_version=sequence - 1
+                                if sequence > 1 else None)
+        return merged
+
+    def delete_version(self, name: str, version: int) -> None:
+        """Remove one version, re-encoding any versions delta'ed on it."""
+        record = self.catalog.get_array(name)
+        self.catalog.get_version(record.array_id, version)
+        if self.cache_capacity:
+            self._invalidate_cache(record.array_id)
+        dependents = {chunk.version for chunk in
+                      self.catalog.dependents_of(record.array_id, version)}
+        deleted_parent = self.catalog.get_version(
+            record.array_id, version).parent_version
+
+        # Re-encode each dependent against the deleted version's own base
+        # (or materialize when the chain ends here).
+        for dependent in sorted(dependents):
+            contents = self.select(name, dependent)
+            self._write_version(record, dependent, contents,
+                                base_version=deleted_parent,
+                                replace=True)
+        self.catalog.delete_version(record.array_id, version)
+        # Keep the lineage consistent: children of the deleted version
+        # are re-parented to its own parent, so later deletes never
+        # chase a dangling parent reference.
+        self.catalog.reparent_versions(record.array_id, version,
+                                       deleted_parent)
+        self.store.delete_version_files(name, version)
+        self._repack(record)
+
+    # ------------------------------------------------------------------
+    # Selection (Section II-B's four forms)
+    # ------------------------------------------------------------------
+    def select(self, name: str, version: int) -> ArrayData:
+        """Form 1: the full contents of one version."""
+        record = self.catalog.get_array(name)
+        self.catalog.get_version(record.array_id, version)
+        grid = self.grid_for(record)
+        attributes = {}
+        for attr in record.schema.attributes:
+            canvas = np.empty(record.schema.shape, dtype=attr.dtype)
+            for chunk in grid.chunks():
+                canvas[chunk.slices()] = self._reconstruct_chunk(
+                    record, version, attr.name, chunk)
+            attributes[attr.name] = canvas
+        return ArrayData(record.schema, attributes)
+
+    def select_region(self, name: str, version: int,
+                      corner_lo: tuple[int, ...],
+                      corner_hi: tuple[int, ...]) -> ArrayData:
+        """Form 2: a hyper-rectangle of one version (user coordinates)."""
+        record = self.catalog.get_array(name)
+        self.catalog.get_version(record.array_id, version)
+        schema = record.schema
+        lo = schema.to_zero_based(corner_lo)
+        hi = schema.to_zero_based(corner_hi)
+        grid = self.grid_for(record)
+
+        region_shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+        attributes = {}
+        for attr in schema.attributes:
+            canvas = np.empty(region_shape, dtype=attr.dtype)
+            for chunk in grid.chunks_overlapping(lo, hi):
+                chunk_data = self._reconstruct_chunk(
+                    record, version, attr.name, chunk)
+                src, dst = _overlap_slices(chunk, lo, hi)
+                canvas[dst] = chunk_data[src]
+            attributes[attr.name] = canvas
+        from repro.core.array import _sliced_schema
+
+        return ArrayData(_sliced_schema(schema, lo, hi), attributes)
+
+    def select_versions(self, name: str, versions: list[int],
+                        attribute: str | None = None) -> np.ndarray:
+        """Form 3: stack whole versions along a new leading axis.
+
+        "Given that the specified arrays are N-dimensional, it returns an
+        N+1-dimensional array that is effectively a stack of the
+        specified versions."
+        """
+        record = self.catalog.get_array(name)
+        schema = record.schema
+        lo = tuple(0 for _ in schema.shape)
+        hi = tuple(extent - 1 for extent in schema.shape)
+        return self._stacked_select(record, versions, attribute, lo, hi)
+
+    def select_versions_region(self, name: str, versions: list[int],
+                               corner_lo: tuple[int, ...],
+                               corner_hi: tuple[int, ...],
+                               attribute: str | None = None) -> np.ndarray:
+        """Form 4: stack one hyper-rectangle across several versions."""
+        record = self.catalog.get_array(name)
+        lo = record.schema.to_zero_based(corner_lo)
+        hi = record.schema.to_zero_based(corner_hi)
+        return self._stacked_select(record, versions, attribute, lo, hi)
+
+    def _stacked_select(self, record: ArrayRecord, versions: list[int],
+                        attribute: str | None, lo: tuple[int, ...],
+                        hi: tuple[int, ...]) -> np.ndarray:
+        """Shared implementation of the stacked select forms.
+
+        Versions are resolved chunk-by-chunk with a shared chain cache,
+        so a range query over a delta chain reads each payload once —
+        this is what makes the paper's Table IV range selects read ~2 GB
+        rather than 16 x the chain length.
+        """
+        attr = self._resolve_attribute(record, attribute)
+        for v in versions:
+            self.catalog.get_version(record.array_id, v)
+        dtype = record.schema.attribute(attr).dtype
+        region_shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+        out = np.empty((len(versions),) + region_shape, dtype=dtype)
+        grid = self.grid_for(record)
+        for chunk in grid.chunks_overlapping(lo, hi):
+            cache: dict[int, np.ndarray] = {}
+            src, dst = _overlap_slices(chunk, lo, hi)
+            for layer, version in enumerate(versions):
+                data = self._reconstruct_chunk(record, version, attr,
+                                               chunk, cache)
+                out[(layer,) + dst] = data[src]
+        return out
+
+    # ------------------------------------------------------------------
+    # Metadata queries (Section II-C)
+    # ------------------------------------------------------------------
+    def get_versions(self, name: str) -> list[int]:
+        record = self.catalog.get_array(name)
+        return [v.version for v in self.catalog.get_versions(record.array_id)]
+
+    def version_at(self, name: str, timestamp: float) -> int:
+        record = self.catalog.get_array(name)
+        return self.catalog.version_at(record.array_id, timestamp)
+
+    def label_version(self, name: str, version: int, label: str) -> None:
+        """Attach an arbitrary label to a version (Appendix A's
+        "selecting versions by ... arbitrary labels")."""
+        record = self.catalog.get_array(name)
+        self.catalog.set_label(record.array_id, label, version)
+
+    def version_for_label(self, name: str, label: str) -> int:
+        record = self.catalog.get_array(name)
+        return self.catalog.version_for_label(record.array_id, label)
+
+    def labels(self, name: str) -> list[tuple[str, int]]:
+        record = self.catalog.get_array(name)
+        return self.catalog.labels_of(record.array_id)
+
+    def properties(self, name: str) -> dict:
+        """Array properties: size, sparsity, version count (Section II-C)."""
+        record = self.catalog.get_array(name)
+        versions = self.catalog.get_versions(record.array_id)
+        stored = self.catalog.stored_bytes(record.array_id)
+        dense = record.schema.dense_size * max(1, len(versions))
+        sparsity = None
+        if versions:
+            latest = self.select(name, versions[-1].version)
+            nonzero = sum(int(np.count_nonzero(latest.attribute(a.name)))
+                          for a in record.schema.attributes)
+            total = record.schema.cell_count * len(record.schema.attributes)
+            sparsity = 1.0 - nonzero / total
+        return {
+            "name": name,
+            "schema": record.schema.to_dict(),
+            "versions": len(versions),
+            "stored_bytes": stored,
+            "logical_bytes": dense,
+            "compression_ratio": dense / stored if stored else float("inf"),
+            "sparsity": sparsity,
+        }
+
+    def stored_bytes(self, name: str, version: int | None = None) -> int:
+        record = self.catalog.get_array(name)
+        return self.catalog.stored_bytes(record.array_id, version)
+
+    def grid_for(self, record: ArrayRecord) -> ChunkGrid:
+        """The chunk grid shared by every version of an array."""
+        return ChunkGrid(record.schema.shape, record.schema.cell_size,
+                         record.chunk_bytes,
+                         chunk_shape=record.chunk_shape)
+
+    # ------------------------------------------------------------------
+    # Layout re-organization (Section IV-E "background re-organization")
+    # ------------------------------------------------------------------
+    def apply_layout(self, name: str,
+                     parent_of: dict[int, int | None]) -> None:
+        """Re-encode all versions of an array according to a layout.
+
+        ``parent_of[v]`` names the version ``v`` is delta'ed against, or
+        None to materialize ``v``.  The mapping must cover every version
+        and form a forest (validity per Section IV-B is the optimizer's
+        responsibility; this method verifies reconstructability).
+        """
+        record = self.catalog.get_array(name)
+        versions = [v.version for v in
+                    self.catalog.get_versions(record.array_id)]
+        if set(parent_of) != set(versions):
+            raise StorageError(
+                f"layout covers versions {sorted(parent_of)} but the array "
+                f"has {versions}")
+        order = _topological_order(parent_of)
+
+        # Snapshot all contents before rewriting anything.
+        contents = {v: self.select(name, v) for v in versions}
+        for v in order:
+            self._write_version(record, v, contents[v],
+                                base_version=parent_of[v], replace=True)
+        self._repack(record)
+
+    def reorganize(self, name: str, *, mode: str = "space",
+                   workload=None, attribute: str | None = None,
+                   sample_fraction: float | None = None) -> None:
+        """Recompute and apply an optimal layout (Section IV-E).
+
+        ``mode`` selects the objective: ``"space"`` (the virtual-root
+        MST optimum), ``"head"`` (newest version materialized, rest
+        most compact), or ``"workload"`` (requires ``workload``, a list
+        of :class:`~repro.materialize.workload_opt.WeightedQuery`).
+        ``sample_fraction`` activates the S x R / N sampled matrix for
+        large arrays.  This is the paper's "background re-organization
+        step" packaged as one call.
+        """
+        from repro.materialize.matrix import MaterializationMatrix
+        from repro.materialize.spanning import optimal_layout
+        from repro.materialize.workload_opt import (
+            head_biased_layout,
+            workload_aware_layout,
+        )
+
+        matrix = MaterializationMatrix.from_manager(
+            self, name, attribute=attribute,
+            sample_fraction=sample_fraction)
+        if mode == "space":
+            layout = optimal_layout(matrix)
+        elif mode == "head":
+            layout = head_biased_layout(matrix)
+        elif mode == "workload":
+            if workload is None:
+                raise StorageError(
+                    "reorganize(mode='workload') needs a workload")
+            layout = workload_aware_layout(matrix, workload)
+        else:
+            raise StorageError(
+                f"unknown reorganize mode {mode!r}; expected "
+                "'space', 'head', or 'workload'")
+        self.apply_layout(name, dict(layout.parent_of))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _normalize_payload(self, record: ArrayRecord,
+                           payload: Payload | ArrayData | np.ndarray
+                           ) -> ArrayData:
+        if isinstance(payload, ArrayData):
+            return payload
+        if isinstance(payload, np.ndarray):
+            return ArrayData.from_single(record.schema, payload)
+        if isinstance(payload, DeltaListPayload):
+            base = self.select(record.name, payload.base_version)
+            return payload.to_array_data(record.schema, base=base)
+        return payload.to_array_data(record.schema)
+
+    def _resolve_attribute(self, record: ArrayRecord,
+                           attribute: str | None) -> str:
+        if attribute is not None:
+            record.schema.attribute(attribute)
+            return attribute
+        return record.schema.attributes[0].name
+
+    def _write_version(self, record: ArrayRecord, version: int,
+                       data: ArrayData, base_version: int | None,
+                       replace: bool = False) -> None:
+        """Encode and persist every chunk of one version."""
+        if self.cache_capacity:
+            self._invalidate_cache(record.array_id)
+        if not replace:
+            existing = self.catalog.chunks_for_version(record.array_id,
+                                                       version)
+            if existing:
+                raise NoOverwriteError(
+                    f"version {version} of {record.name!r} already exists")
+        grid = self.grid_for(record)
+        compressor = get_codec(record.compressor)
+
+        base_data: ArrayData | None = None
+        if base_version is not None and \
+                self.delta_policy != POLICY_MATERIALIZE:
+            base_data = self.select(record.name, base_version)
+
+        for attr in record.schema.attributes:
+            target_full = data.attribute(attr.name)
+            base_full = base_data.attribute(attr.name) \
+                if base_data is not None else None
+            for chunk in grid.chunks():
+                target = np.ascontiguousarray(target_full[chunk.slices()])
+                base = np.ascontiguousarray(base_full[chunk.slices()]) \
+                    if base_full is not None else None
+                decision = self._encode_chunk(target, base, compressor)
+                location = self.store.write_chunk(
+                    record.name, version, attr.name, chunk.name,
+                    decision.payload)
+                self.catalog.put_chunk(ChunkRecord(
+                    array_id=record.array_id,
+                    version=version,
+                    attribute=attr.name,
+                    chunk_name=chunk.name,
+                    delta_codec=decision.delta_codec,
+                    base_version=base_version if decision.is_delta
+                    else None,
+                    compressor=record.compressor,
+                    location=location,
+                ))
+
+    def _encode_chunk(self, target: np.ndarray, base: np.ndarray | None,
+                      compressor):
+        if self.delta_policy == POLICY_MATERIALIZE or base is None:
+            return choose_encoding(target, None, compressor=compressor)
+        if self.delta_policy == POLICY_CHAIN:
+            codec = get_delta_codec(self.delta_codec_name)
+            return choose_encoding(target, base, compressor=compressor,
+                                   candidates=(codec,))
+        return choose_encoding(target, base, compressor=compressor)
+
+    def _reconstruct_chunk(self, record: ArrayRecord, version: int,
+                           attribute: str, chunk: ChunkRef,
+                           cache: dict[int, np.ndarray] | None = None
+                           ) -> np.ndarray:
+        """Unwind the delta chain of one chunk (Figure 2's read pattern).
+
+        ``cache`` maps already-resolved versions of this chunk to their
+        contents; chains stop as soon as they reach a cached version, so
+        multi-version queries share the work of common prefixes.
+        """
+        if cache is None:
+            cache = {}
+        if self.cache_capacity:
+            key = (record.array_id, version, attribute, chunk.name)
+            cached = self._cache_get(key)
+            if cached is not None:
+                cache[version] = cached
+                return cached
+        chain: list[ChunkRecord] = []
+        cursor: int | None = version
+        seen: set[int] = set()
+        while cursor is not None and cursor not in cache:
+            if cursor in seen:
+                raise StorageError(
+                    f"delta cycle detected for {record.name!r} "
+                    f"chunk {chunk.name} at version {cursor}")
+            seen.add(cursor)
+            chunk_record = self.catalog.get_chunk(
+                record.array_id, cursor, attribute, chunk.name)
+            chain.append(chunk_record)
+            cursor = chunk_record.base_version
+
+        if cursor is not None:
+            data = cache[cursor]
+        else:
+            root = chain.pop()
+            payload = self.store.read_chunk(root.location)
+            data = get_codec(root.compressor).decode(payload)
+            cache[root.version] = data
+        for chunk_record in reversed(chain):
+            payload = self.store.read_chunk(chunk_record.location)
+            codec = get_delta_codec(chunk_record.delta_codec)
+            data = codec.decode_forward(payload, data)
+            cache[chunk_record.version] = data
+        if self.cache_capacity:
+            self._cache_put(
+                (record.array_id, version, attribute, chunk.name), data)
+        return data
+
+    # ------------------------------------------------------------------
+    # Chunk cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: tuple) -> np.ndarray | None:
+        entry = self._chunk_cache.get(key)
+        if entry is None:
+            self.cache_misses += 1
+            return None
+        self._chunk_cache.move_to_end(key)
+        self.cache_hits += 1
+        return entry
+
+    def _cache_put(self, key: tuple, data: np.ndarray) -> None:
+        self._chunk_cache[key] = data
+        self._chunk_cache.move_to_end(key)
+        while len(self._chunk_cache) > self.cache_capacity:
+            self._chunk_cache.popitem(last=False)
+
+    def _invalidate_cache(self, array_id: int) -> None:
+        """Drop cached chunks of one array after any re-encoding."""
+        stale = [key for key in self._chunk_cache if key[0] == array_id]
+        for key in stale:
+            del self._chunk_cache[key]
+
+    def cache_info(self) -> dict:
+        """Hit/miss counters and current occupancy of the chunk cache."""
+        return {
+            "capacity": self.cache_capacity,
+            "entries": len(self._chunk_cache),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+        }
+
+    def _repack(self, record: ArrayRecord) -> None:
+        """Rewrite co-located chunk files keeping only live payloads."""
+        if self.store.placement != COLOCATED:
+            return
+        live = self.catalog.all_chunks(record.array_id)
+        keep = [(chunk.location,
+                 (chunk.version, chunk.attribute, chunk.chunk_name))
+                for chunk in live]
+        new_locations = self.store.repack(record.name, keep)
+        for chunk in live:
+            key = (chunk.version, chunk.attribute, chunk.chunk_name)
+            self.catalog.put_chunk(ChunkRecord(
+                array_id=chunk.array_id,
+                version=chunk.version,
+                attribute=chunk.attribute,
+                chunk_name=chunk.chunk_name,
+                delta_codec=chunk.delta_codec,
+                base_version=chunk.base_version,
+                compressor=chunk.compressor,
+                location=new_locations[key],
+            ))
+
+    def _now(self) -> float:
+        # A strictly increasing logical clock keeps catalog timestamps
+        # deterministic; wall-clock seconds provide the coarse component.
+        return time.time() + next(self._tick) * 1e-6
+
+
+def _overlap_slices(chunk: ChunkRef, lo: tuple[int, ...],
+                    hi: tuple[int, ...]) -> tuple[tuple, tuple]:
+    """Slices mapping a chunk's cells into a query region canvas.
+
+    Returns ``(src, dst)`` where ``src`` indexes within the chunk array
+    and ``dst`` within the region-shaped output canvas.
+    """
+    src = []
+    dst = []
+    for c_lo, c_hi, r_lo, r_hi in zip(chunk.lo, chunk.hi, lo, hi):
+        start = max(c_lo, r_lo)
+        stop = min(c_hi, r_hi)
+        src.append(np.s_[start - c_lo:stop - c_lo + 1])
+        dst.append(np.s_[start - r_lo:stop - r_lo + 1])
+    return tuple(src), tuple(dst)
+
+
+def _topological_order(parent_of: dict[int, int | None]) -> list[int]:
+    """Materialized roots first, then children in dependency order."""
+    children: dict[int | None, list[int]] = {}
+    for version, parent in parent_of.items():
+        children.setdefault(parent, []).append(version)
+    order: list[int] = []
+    frontier = sorted(children.get(None, []))
+    if not frontier:
+        raise StorageError("layout has no materialized version")
+    visited: set[int] = set()
+    while frontier:
+        version = frontier.pop(0)
+        if version in visited:
+            raise StorageError("layout contains a cycle")
+        visited.add(version)
+        order.append(version)
+        frontier.extend(sorted(children.get(version, [])))
+    if len(order) != len(parent_of):
+        raise StorageError(
+            "layout contains a cycle or unreachable versions")
+    return order

@@ -1,0 +1,35 @@
+"""Workload generators and execution harness (Section V-B, Table V)."""
+
+from repro.workloads.generators import (
+    RANGE,
+    SNAPSHOT,
+    TABLE5_WORKLOADS,
+    UPDATE,
+    Operation,
+    WorkloadReport,
+    head_workload,
+    mixed_workload,
+    random_workload,
+    range_workload,
+    run_workload,
+    to_optimizer_workload,
+    update_workload,
+    workload_by_name,
+)
+
+__all__ = [
+    "Operation",
+    "RANGE",
+    "SNAPSHOT",
+    "TABLE5_WORKLOADS",
+    "UPDATE",
+    "WorkloadReport",
+    "head_workload",
+    "mixed_workload",
+    "random_workload",
+    "range_workload",
+    "run_workload",
+    "to_optimizer_workload",
+    "update_workload",
+    "workload_by_name",
+]

@@ -1,0 +1,235 @@
+"""The five workloads of Table V (Section V-B).
+
+"Table V gives the results for five different workloads: i) Head, where
+the most recent version is selected with 90% probability, and another
+single random version is selected with 10% probability (this is repeated
+10 times) ii) Random, where a random single version is selected (this is
+repeated 30 times) iii) Range, where with 10% probability, a random
+single matrix is selected and with 90% probability, a random range with
+a standard deviation of 10 is selected (this is repeated 30 times)
+iv) Mixed, where a query is chosen from the three previous query types
+with equal probability (this is repeated 15 times) and finally
+v) Update, where a random modification is made (this is repeated 5
+times, each time for a different version chosen uniformly at random)."
+
+Each generator yields :class:`Operation` records; :func:`run_workload`
+executes them against a storage manager and reports wall-clock time plus
+I/O counters, and :func:`to_optimizer_workload` converts read operations
+into the weighted-query form the Section IV-D optimizer consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.array import DeltaListPayload
+from repro.materialize.workload_opt import (
+    RangeQuery,
+    SnapshotQuery,
+    WeightedQuery,
+    Workload,
+)
+from repro.storage.manager import VersionedStorageManager
+
+SNAPSHOT = "snapshot"
+RANGE = "range"
+UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload operation.
+
+    ``versions`` is the inclusive (first, last) version pair for reads;
+    for updates it names the single version being modified.
+    """
+
+    kind: str
+    first: int
+    last: int
+
+    @property
+    def versions(self) -> tuple[int, ...]:
+        return tuple(range(self.first, self.last + 1))
+
+
+def _random_version(rng: np.random.Generator, count: int) -> int:
+    return int(rng.integers(1, count + 1))
+
+
+def _random_range(rng: np.random.Generator, count: int,
+                  std: float = 10.0) -> tuple[int, int]:
+    """A random range whose length has the paper's std-dev of 10."""
+    length = max(1, int(round(abs(rng.normal(0, std)))))
+    length = min(length, count)
+    first = int(rng.integers(1, count - length + 2))
+    return first, first + length - 1
+
+
+def head_workload(version_count: int, *, repetitions: int = 10,
+                  seed: int = 0) -> list[Operation]:
+    """90% latest version, 10% a random version."""
+    rng = np.random.default_rng(seed)
+    operations = []
+    for _ in range(repetitions):
+        if rng.random() < 0.9:
+            version = version_count
+        else:
+            version = _random_version(rng, version_count)
+        operations.append(Operation(SNAPSHOT, version, version))
+    return operations
+
+
+def random_workload(version_count: int, *, repetitions: int = 30,
+                    seed: int = 1) -> list[Operation]:
+    """A random single version per query."""
+    rng = np.random.default_rng(seed)
+    return [Operation(SNAPSHOT, v, v)
+            for v in (_random_version(rng, version_count)
+                      for _ in range(repetitions))]
+
+
+def range_workload(version_count: int, *, repetitions: int = 30,
+                   seed: int = 2, std: float = 10.0) -> list[Operation]:
+    """10% single snapshots, 90% ranges with length std-dev 10."""
+    rng = np.random.default_rng(seed)
+    operations = []
+    for _ in range(repetitions):
+        if rng.random() < 0.1:
+            version = _random_version(rng, version_count)
+            operations.append(Operation(SNAPSHOT, version, version))
+        else:
+            first, last = _random_range(rng, version_count, std)
+            operations.append(Operation(RANGE, first, last))
+    return operations
+
+
+def mixed_workload(version_count: int, *, repetitions: int = 15,
+                   seed: int = 3) -> list[Operation]:
+    """Equal-probability mixture of Head, Random, and Range queries."""
+    rng = np.random.default_rng(seed)
+    operations = []
+    for _ in range(repetitions):
+        kind = int(rng.integers(0, 3))
+        if kind == 0:  # head-style
+            if rng.random() < 0.9:
+                version = version_count
+            else:
+                version = _random_version(rng, version_count)
+            operations.append(Operation(SNAPSHOT, version, version))
+        elif kind == 1:  # random
+            version = _random_version(rng, version_count)
+            operations.append(Operation(SNAPSHOT, version, version))
+        else:  # range
+            first, last = _random_range(rng, version_count)
+            operations.append(Operation(RANGE, first, last))
+    return operations
+
+
+def update_workload(version_count: int, *, repetitions: int = 5,
+                    seed: int = 4) -> list[Operation]:
+    """Random modifications to distinct uniformly-chosen versions."""
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(np.arange(1, version_count + 1),
+                        size=min(repetitions, version_count),
+                        replace=False)
+    return [Operation(UPDATE, int(v), int(v)) for v in chosen]
+
+
+#: Table V's workload column order.
+TABLE5_WORKLOADS = ("head", "random", "range", "update", "mixed")
+
+
+def workload_by_name(name: str, version_count: int,
+                     seed: int = 0) -> list[Operation]:
+    """Build one of the Table V workloads by its column name."""
+    factories = {
+        "head": head_workload,
+        "random": random_workload,
+        "range": range_workload,
+        "mixed": mixed_workload,
+        "update": update_workload,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; "
+                         f"expected {sorted(factories)}") from None
+    return factory(version_count, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclass
+class WorkloadReport:
+    """Wall-clock and I/O outcome of one workload run."""
+
+    name: str
+    seconds: float
+    bytes_read: int
+    chunks_read: int
+    operations: int
+
+
+def run_workload(manager: VersionedStorageManager, array: str,
+                 operations: list[Operation], *,
+                 name: str = "workload",
+                 update_cells: int = 16,
+                 seed: int = 99) -> WorkloadReport:
+    """Execute a workload against one array and measure it.
+
+    Updates follow the paper's no-overwrite model: a "random
+    modification" of version v inserts a *new* version whose payload is
+    a delta-list against v.
+    """
+    rng = np.random.default_rng(seed)
+    record = manager.catalog.get_array(array)
+    schema = record.schema
+    started = time.perf_counter()
+    with manager.stats.measure() as window:
+        for operation in operations:
+            if operation.kind == SNAPSHOT:
+                manager.select(array, operation.first)
+            elif operation.kind == RANGE:
+                manager.select_versions(
+                    array, list(operation.versions))
+            elif operation.kind == UPDATE:
+                cells = rng.integers(
+                    0, schema.cell_count, size=update_cells)
+                coords = np.array([schema.unflatten_index(int(c))
+                                   for c in cells])
+                attr = schema.attributes[0]
+                values = rng.integers(0, 100, size=update_cells) \
+                    .astype(attr.dtype)
+                manager.insert(array, DeltaListPayload.of(
+                    coords, values, base_version=operation.first,
+                    attribute=attr.name))
+            else:
+                raise ValueError(f"unknown operation kind "
+                                 f"{operation.kind!r}")
+    elapsed = time.perf_counter() - started
+    return WorkloadReport(name=name, seconds=elapsed,
+                          bytes_read=window.bytes_read,
+                          chunks_read=window.chunks_read,
+                          operations=len(operations))
+
+
+def to_optimizer_workload(operations: list[Operation]) -> Workload:
+    """Collapse read operations into the optimizer's weighted-query form."""
+    weights: dict[tuple[str, int, int], float] = {}
+    for operation in operations:
+        if operation.kind == UPDATE:
+            continue
+        key = (operation.kind, operation.first, operation.last)
+        weights[key] = weights.get(key, 0.0) + 1.0
+    workload: Workload = []
+    for (kind, first, last), weight in sorted(weights.items()):
+        if kind == SNAPSHOT:
+            workload.append(WeightedQuery(SnapshotQuery(first), weight))
+        else:
+            workload.append(WeightedQuery(RangeQuery(first, last), weight))
+    return workload

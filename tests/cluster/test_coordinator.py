@@ -1,0 +1,154 @@
+"""Tests for the multi-node coordinator (Section II's distribution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterCoordinator
+from repro.core.errors import StorageError
+from repro.core.schema import ArraySchema, Attribute, Dimension
+
+
+@pytest.fixture
+def cluster(tmp_path) -> ClusterCoordinator:
+    return ClusterCoordinator(tmp_path, nodes=3, chunk_bytes=1024)
+
+
+@pytest.fixture
+def loaded(cluster, rng):
+    schema = ArraySchema.simple((12, 8), dtype=np.int32)
+    cluster.create_array("A", schema)
+    versions = []
+    data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+    for _ in range(3):
+        versions.append(data)
+        cluster.insert("A", data)
+        data = data + 1
+    return cluster, versions
+
+
+class TestLifecycle:
+    def test_insert_select_roundtrip(self, loaded):
+        cluster, versions = loaded
+        for number, expected in enumerate(versions, 1):
+            out = cluster.select("A", number)
+            np.testing.assert_array_equal(out.single(), expected)
+
+    def test_versions_consistent(self, loaded):
+        cluster, _ = loaded
+        assert cluster.get_versions("A") == [1, 2, 3]
+
+    def test_list_and_delete(self, loaded):
+        cluster, _ = loaded
+        assert cluster.list_arrays() == ["A"]
+        cluster.delete_array("A")
+        assert cluster.list_arrays() == []
+        with pytest.raises(StorageError):
+            cluster.select("A", 1)
+
+    def test_unregistered_array(self, cluster):
+        with pytest.raises(StorageError):
+            cluster.get_versions("ghost")
+
+    def test_each_node_stores_its_band_only(self, loaded):
+        cluster, _ = loaded
+        # 12 rows over 3 nodes: each node's partition is 4x8.
+        for manager in cluster.managers:
+            record = manager.catalog.get_array("A")
+            assert record.schema.shape == (4, 8)
+
+    def test_nodes_encode_independently(self, loaded):
+        cluster, _ = loaded
+        # Every node delta-encodes its own partition: version 2 chunks
+        # are deltas on every node.
+        for manager in cluster.managers:
+            record = manager.catalog.get_array("A")
+            chunks = manager.catalog.chunks_for_version(record.array_id, 2)
+            assert chunks
+            assert any(chunk.is_delta for chunk in chunks)
+
+
+class TestRouting:
+    def test_region_within_one_band_touches_one_node(self, loaded):
+        cluster, versions = loaded
+        for stats in cluster.node_stats():
+            stats.reset()
+        out = cluster.select_region("A", 3, (0, 0), (3, 7))
+        np.testing.assert_array_equal(out.single(), versions[2][0:4, :])
+        reads = [stats.chunks_read for stats in cluster.node_stats()]
+        assert reads[0] > 0
+        assert reads[1] == 0
+        assert reads[2] == 0
+
+    def test_region_straddling_bands(self, loaded):
+        cluster, versions = loaded
+        out = cluster.select_region("A", 2, (2, 1), (9, 6))
+        np.testing.assert_array_equal(out.single(),
+                                      versions[1][2:10, 1:7])
+
+    def test_single_cell(self, loaded):
+        cluster, versions = loaded
+        out = cluster.select_region("A", 1, (7, 3), (7, 3))
+        assert out.single()[0, 0] == versions[0][7, 3]
+
+    def test_stacked_select(self, loaded):
+        cluster, versions = loaded
+        stack = cluster.select_versions("A", [1, 3])
+        assert stack.shape == (2, 12, 8)
+        np.testing.assert_array_equal(stack[1], versions[2])
+
+
+class TestMaintenance:
+    def test_stored_bytes_sums_nodes(self, loaded):
+        cluster, _ = loaded
+        total = cluster.stored_bytes("A")
+        assert total == sum(manager.stored_bytes("A")
+                            for manager in cluster.managers)
+        assert total > 0
+
+    def test_reorganize_all_nodes(self, loaded):
+        cluster, versions = loaded
+        cluster.reorganize("A", mode="head")
+        for manager in cluster.managers:
+            record = manager.catalog.get_array("A")
+            newest = manager.catalog.chunks_for_version(record.array_id, 3)
+            assert all(not chunk.is_delta for chunk in newest)
+        for number, expected in enumerate(versions, 1):
+            np.testing.assert_array_equal(
+                cluster.select("A", number).single(), expected)
+
+
+class TestMultiAttribute:
+    def test_roundtrip(self, cluster, rng):
+        schema = ArraySchema(
+            dimensions=(Dimension("I", 0, 11), Dimension("J", 0, 7)),
+            attributes=(Attribute("wind", np.float32),
+                        Attribute("pressure", np.int32)),
+        )
+        cluster.create_array("W", schema)
+        from repro.core.array import ArrayData
+
+        wind = rng.normal(0, 10, (12, 8)).astype(np.float32)
+        pressure = rng.integers(900, 1100, (12, 8)).astype(np.int32)
+        cluster.insert("W", ArrayData(schema, {"wind": wind,
+                                               "pressure": pressure}))
+        out = cluster.select("W", 1)
+        np.testing.assert_array_equal(out.attribute("wind"), wind)
+        np.testing.assert_array_equal(out.attribute("pressure"), pressure)
+
+
+class TestValidation:
+    def test_zero_nodes_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            ClusterCoordinator(tmp_path, nodes=0)
+
+    def test_single_node_degenerates_cleanly(self, tmp_path, rng):
+        cluster = ClusterCoordinator(tmp_path, nodes=1, chunk_bytes=1024)
+        schema = ArraySchema.simple((6, 6), dtype=np.int32)
+        cluster.create_array("A", schema)
+        data = rng.integers(0, 9, (6, 6)).astype(np.int32)
+        cluster.insert("A", data)
+        np.testing.assert_array_equal(cluster.select("A", 1).single(),
+                                      data)
+        cluster.close()

@@ -1,0 +1,89 @@
+"""Tests for range partitioning geometry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import RangePartitioner
+from repro.core.errors import DimensionError, StorageError
+
+
+class TestBands:
+    def test_even_split(self):
+        partitioner = RangePartitioner((12, 8), nodes=3)
+        assert [(b.lo, b.hi) for b in partitioner.bands] == \
+            [(0, 3), (4, 7), (8, 11)]
+
+    def test_uneven_split_spreads_remainder(self):
+        partitioner = RangePartitioner((10, 8), nodes=3)
+        lengths = [band.length for band in partitioner.bands]
+        assert lengths == [4, 3, 3]
+        assert sum(lengths) == 10
+
+    def test_partition_other_axis(self):
+        partitioner = RangePartitioner((4, 10), nodes=2, axis=1)
+        assert partitioner.local_shape(0) == (4, 5)
+        assert partitioner.local_shape(1) == (4, 5)
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(StorageError):
+            RangePartitioner((2, 100), nodes=3)
+
+    def test_invalid_axis(self):
+        with pytest.raises(DimensionError):
+            RangePartitioner((4, 4), nodes=2, axis=5)
+
+    def test_zero_nodes(self):
+        with pytest.raises(StorageError):
+            RangePartitioner((4, 4), nodes=0)
+
+
+class TestRouting:
+    @pytest.fixture
+    def partitioner(self) -> RangePartitioner:
+        return RangePartitioner((12, 6), nodes=3)
+
+    def test_node_for_cell(self, partitioner):
+        assert partitioner.node_for_cell((0, 0)) == 0
+        assert partitioner.node_for_cell((3, 5)) == 0
+        assert partitioner.node_for_cell((4, 0)) == 1
+        assert partitioner.node_for_cell((11, 5)) == 2
+
+    def test_cell_out_of_range(self, partitioner):
+        with pytest.raises(DimensionError):
+            partitioner.node_for_cell((12, 0))
+
+    def test_to_local(self, partitioner):
+        assert partitioner.to_local(1, (4, 3)) == (0, 3)
+        assert partitioner.to_local(2, (11, 0)) == (3, 0)
+
+    def test_bands_overlapping_one(self, partitioner):
+        hits = partitioner.bands_overlapping((1, 0), (2, 5))
+        assert [band.node for band in hits] == [0]
+
+    def test_bands_overlapping_straddle(self, partitioner):
+        hits = partitioner.bands_overlapping((3, 0), (8, 5))
+        assert [band.node for band in hits] == [0, 1, 2]
+
+    def test_clip_region(self, partitioner):
+        band = partitioner.band_of(1)  # rows 4..7
+        lo, hi = partitioner.clip_region(band, (3, 1), (8, 4))
+        assert lo == (0, 1)
+        assert hi == (3, 4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(extent=st.integers(4, 200), nodes=st.integers(1, 4),
+           data=st.data())
+    def test_bands_cover_extent_exactly(self, extent, nodes, data):
+        partitioner = RangePartitioner((extent, 4), nodes=nodes)
+        covered = []
+        for band in partitioner.bands:
+            covered.extend(range(band.lo, band.hi + 1))
+        assert covered == list(range(extent))
+        # Every cell routes to the band containing it.
+        cell = data.draw(st.integers(0, extent - 1))
+        node = partitioner.node_for_cell((cell, 0))
+        band = partitioner.band_of(node)
+        assert band.lo <= cell <= band.hi

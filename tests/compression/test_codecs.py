@@ -1,0 +1,217 @@
+"""Round-trip and behaviour tests for all compression codecs (Table II set)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import (
+    IdentityCodec,
+    JPEG2000LikeCodec,
+    LZWCodec,
+    LempelZivCodec,
+    NullSuppressionCodec,
+    PNGLikeCodec,
+    RunLengthCodec,
+    codec_names,
+    get_codec,
+    lz_bytes,
+    unlz_bytes,
+)
+from repro.core.errors import CodecError
+
+ALL_CODECS = [
+    IdentityCodec(),
+    RunLengthCodec(),
+    NullSuppressionCodec(),
+    LempelZivCodec(),
+    LZWCodec(),
+    PNGLikeCodec(),
+    JPEG2000LikeCodec(),
+]
+
+DTYPES = [np.uint8, np.int16, np.int32, np.int64, np.float32, np.float64]
+
+
+def _sample_array(dtype, shape, rng):
+    if np.dtype(dtype).kind == "f":
+        return rng.normal(0, 100, size=shape).astype(dtype)
+    info = np.iinfo(dtype)
+    return rng.integers(info.min, info.max, size=shape,
+                        endpoint=True).astype(dtype)
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+class TestRoundTripAllCodecs:
+    @pytest.mark.parametrize("dtype", DTYPES, ids=str)
+    def test_random_2d(self, codec, dtype, rng):
+        array = _sample_array(dtype, (13, 17), rng)
+        out = codec.decode(codec.encode(array))
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        assert out.tobytes() == array.tobytes()
+
+    def test_1d(self, codec, rng):
+        array = _sample_array(np.int32, (101,), rng)
+        out = codec.decode(codec.encode(array))
+        assert out.tobytes() == array.tobytes()
+
+    def test_3d(self, codec, rng):
+        array = _sample_array(np.int16, (5, 7, 9), rng)
+        out = codec.decode(codec.encode(array))
+        assert out.tobytes() == array.tobytes()
+
+    def test_constant_array(self, codec):
+        array = np.full((20, 20), 42, dtype=np.int32)
+        out = codec.decode(codec.encode(array))
+        assert out.tobytes() == array.tobytes()
+
+    def test_zeros(self, codec):
+        array = np.zeros((16, 16), dtype=np.int64)
+        out = codec.decode(codec.encode(array))
+        assert out.tobytes() == array.tobytes()
+
+    def test_single_cell(self, codec):
+        array = np.array([[123.5]], dtype=np.float64)
+        out = codec.decode(codec.encode(array))
+        assert out.tobytes() == array.tobytes()
+
+    def test_odd_extents(self, codec, rng):
+        array = _sample_array(np.int32, (3, 5), rng)
+        out = codec.decode(codec.encode(array))
+        assert out.tobytes() == array.tobytes()
+
+    def test_nan_and_inf_bit_exact(self, codec):
+        array = np.array([[np.nan, np.inf], [-np.inf, -0.0]],
+                         dtype=np.float64)
+        out = codec.decode(codec.encode(array))
+        assert out.tobytes() == array.tobytes()
+
+    def test_smooth_field(self, codec, smooth_field):
+        out = codec.decode(codec.encode(smooth_field))
+        assert out.tobytes() == smooth_field.tobytes()
+
+
+class TestCompressionEffectiveness:
+    """Codecs must actually compress the data they were designed for."""
+
+    def test_rle_crushes_runs(self):
+        array = np.repeat(np.arange(10, dtype=np.int64), 1000)
+        codec = RunLengthCodec()
+        assert len(codec.encode(array)) < array.nbytes / 50
+
+    def test_null_suppression_crushes_small_ints(self, rng):
+        array = rng.integers(0, 100, size=5000).astype(np.int64)
+        codec = NullSuppressionCodec()
+        assert len(codec.encode(array)) < array.nbytes / 3
+
+    def test_lz_crushes_repetitive_bytes(self):
+        array = np.tile(np.arange(64, dtype=np.uint8), 512)
+        codec = LempelZivCodec()
+        assert len(codec.encode(array)) < array.nbytes / 20
+
+    def test_lzw_crushes_repetitive_bytes(self):
+        array = np.tile(np.arange(16, dtype=np.uint8), 256)
+        codec = LZWCodec()
+        assert len(codec.encode(array)) < array.nbytes / 2
+
+    def test_png_beats_plain_lz_on_gradients(self):
+        # Smooth gradients are exactly what the filters decorrelate.
+        gradient = np.add.outer(np.arange(128), np.arange(128)) \
+            .astype(np.uint8)
+        png_size = len(PNGLikeCodec().encode(gradient))
+        lz_size = len(LempelZivCodec().encode(gradient))
+        assert png_size <= lz_size
+
+    def test_wavelet_crushes_smooth_integers(self):
+        x = np.linspace(0, 8 * np.pi, 256)
+        smooth = (1000 * np.sin(x)[None, :] * np.sin(x)[:, None]) \
+            .astype(np.int32)
+        codec = JPEG2000LikeCodec()
+        assert len(codec.encode(smooth)) < smooth.nbytes / 2
+
+
+class TestLZWResets:
+    def test_dictionary_reset_roundtrip(self, rng):
+        # A small code budget forces repeated dictionary resets.
+        codec = LZWCodec(max_code_bits=9)
+        data = rng.integers(0, 256, size=4096).astype(np.uint8)
+        out = codec.decode(codec.encode(data))
+        assert out.tobytes() == data.tobytes()
+
+    def test_invalid_code_bits(self):
+        with pytest.raises(CodecError):
+            LZWCodec(max_code_bits=5)
+
+
+class TestRegistry:
+    def test_names_present(self):
+        names = codec_names()
+        for expected in ("none", "rle", "lz", "png", "jpeg2000",
+                         "null-suppression", "lzw"):
+            assert expected in names
+
+    def test_get_codec(self):
+        assert get_codec("lz").name == "lz"
+
+    def test_unknown_codec(self):
+        with pytest.raises(CodecError):
+            get_codec("brotli")
+
+
+class TestByteHelpers:
+    def test_lz_bytes_roundtrip(self):
+        blob = b"versioned arrays" * 100
+        assert unlz_bytes(lz_bytes(blob)) == blob
+
+    def test_corrupt_stream_rejected(self):
+        with pytest.raises(CodecError):
+            unlz_bytes(b"not a zlib stream")
+
+
+class TestCorruptionHandling:
+    def test_rle_truncated(self, rng):
+        codec = RunLengthCodec()
+        data = codec.encode(rng.integers(0, 5, size=100).astype(np.int32))
+        with pytest.raises(CodecError):
+            codec.decode(data[:8])
+
+    def test_lz_corrupt_payload(self, rng):
+        codec = LempelZivCodec()
+        data = bytearray(
+            codec.encode(rng.integers(0, 5, size=100).astype(np.int32)))
+        data[-10:] = b"\x00" * 10
+        with pytest.raises(CodecError):
+            codec.decode(bytes(data))
+
+    def test_invalid_zlib_level(self):
+        with pytest.raises(CodecError):
+            LempelZivCodec(level=0)
+        with pytest.raises(CodecError):
+            PNGLikeCodec(level=10)
+
+    def test_invalid_wavelet_levels(self):
+        with pytest.raises(CodecError):
+            JPEG2000LikeCodec(levels=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(),
+       codec_name=st.sampled_from(["none", "rle", "lz", "png", "jpeg2000",
+                                   "null-suppression"]))
+def test_roundtrip_property(data, codec_name):
+    codec = get_codec(codec_name)
+    dtype = data.draw(st.sampled_from([np.uint8, np.int32, np.float64]))
+    shape = data.draw(hnp.array_shapes(min_dims=1, max_dims=3, max_side=12))
+    elements = (
+        st.floats(allow_nan=False, width=64)
+        if np.dtype(dtype).kind == "f"
+        else st.integers(np.iinfo(dtype).min, np.iinfo(dtype).max)
+    )
+    array = data.draw(hnp.arrays(dtype, shape, elements=elements))
+    out = codec.decode(codec.encode(array))
+    assert out.tobytes() == array.tobytes()
+    assert out.shape == array.shape

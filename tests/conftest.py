@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared across tests."""
+    return np.random.default_rng(20120401)
+
+
+@pytest.fixture
+def smooth_field(rng: np.random.Generator) -> np.ndarray:
+    """A smooth 2-D float field resembling the NOAA rasters."""
+    x = np.linspace(0, 4 * np.pi, 64)
+    y = np.linspace(0, 2 * np.pi, 48)
+    base = np.sin(x)[None, :] * np.cos(y)[:, None]
+    return (base * 100 + rng.normal(0, 0.1, size=(48, 64))).astype(np.float32)

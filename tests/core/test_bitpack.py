@@ -1,0 +1,132 @@
+"""Unit and property tests for D-bit packing (Section III-B.3 substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitpack
+from repro.core.errors import CodecError
+
+
+class TestRequiredBits:
+    def test_zero_needs_zero_bits(self):
+        assert bitpack.required_bits(0) == 0
+
+    def test_one_needs_one_bit(self):
+        assert bitpack.required_bits(1) == 1
+
+    def test_byte_boundary(self):
+        assert bitpack.required_bits(255) == 8
+        assert bitpack.required_bits(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            bitpack.required_bits(-1)
+
+    def test_required_bits_for_empty_array(self):
+        assert bitpack.required_bits_for(np.array([], dtype=np.uint64)) == 0
+
+    def test_required_bits_for_array(self):
+        values = np.array([0, 3, 17], dtype=np.uint64)
+        assert bitpack.required_bits_for(values) == 5
+
+
+class TestPackUnsigned:
+    def test_roundtrip_simple(self):
+        values = np.array([1, 2, 3, 4, 5], dtype=np.uint64)
+        packed = bitpack.pack_unsigned(values, 3)
+        out = bitpack.unpack_unsigned(packed, 3, 5)
+        np.testing.assert_array_equal(out, values)
+
+    def test_zero_bits_all_zero(self):
+        values = np.zeros(10, dtype=np.uint64)
+        assert bitpack.pack_unsigned(values, 0) == b""
+        out = bitpack.unpack_unsigned(b"", 0, 10)
+        np.testing.assert_array_equal(out, values)
+
+    def test_zero_bits_rejects_nonzero(self):
+        with pytest.raises(CodecError):
+            bitpack.pack_unsigned(np.array([1], dtype=np.uint64), 0)
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(CodecError):
+            bitpack.pack_unsigned(np.array([8], dtype=np.uint64), 3)
+
+    def test_empty_input(self):
+        assert bitpack.pack_unsigned(np.array([], dtype=np.uint64), 7) == b""
+        out = bitpack.unpack_unsigned(b"", 7, 0)
+        assert out.size == 0
+
+    def test_truncated_stream_rejected(self):
+        values = np.arange(100, dtype=np.uint64)
+        packed = bitpack.pack_unsigned(values, 7)
+        with pytest.raises(CodecError):
+            bitpack.unpack_unsigned(packed[:-1], 7, 100)
+
+    def test_64_bit_values(self):
+        values = np.array([2**64 - 1, 0, 2**63], dtype=np.uint64)
+        packed = bitpack.pack_unsigned(values, 64)
+        out = bitpack.unpack_unsigned(packed, 64, 3)
+        np.testing.assert_array_equal(out, values)
+
+    def test_packed_size_matches_output(self):
+        values = np.arange(33, dtype=np.uint64)
+        bits = bitpack.required_bits_for(values)
+        packed = bitpack.pack_unsigned(values, bits)
+        assert len(packed) == bitpack.packed_size(33, bits)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(CodecError):
+            bitpack.pack_unsigned(np.array([1], dtype=np.uint64), 65)
+        with pytest.raises(CodecError):
+            bitpack.unpack_unsigned(b"", -1, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=2**40 - 1),
+                        max_size=200),
+    )
+    def test_roundtrip_property(self, values):
+        array = np.array(values, dtype=np.uint64)
+        bits = bitpack.required_bits_for(array)
+        packed = bitpack.pack_unsigned(array, bits)
+        out = bitpack.unpack_unsigned(packed, bits, len(values))
+        np.testing.assert_array_equal(out, array)
+
+
+class TestZigzag:
+    def test_small_values(self):
+        values = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+        codes = bitpack.zigzag_encode(values)
+        np.testing.assert_array_equal(codes,
+                                      np.array([0, 1, 2, 3, 4],
+                                               dtype=np.uint64))
+
+    def test_roundtrip_extremes(self):
+        values = np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max, 0],
+                          dtype=np.int64)
+        out = bitpack.zigzag_decode(bitpack.zigzag_encode(values))
+        np.testing.assert_array_equal(out, values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-2**62, max_value=2**62),
+                           max_size=100))
+    def test_roundtrip_property(self, values):
+        array = np.array(values, dtype=np.int64)
+        out = bitpack.zigzag_decode(bitpack.zigzag_encode(array))
+        np.testing.assert_array_equal(out, array)
+
+    def test_pack_signed_roundtrip(self):
+        values = np.array([-5, 0, 5, 1000, -1000], dtype=np.int64)
+        data, bits = bitpack.pack_signed(values)
+        out = bitpack.unpack_signed(data, bits, 5)
+        np.testing.assert_array_equal(out, values)
+
+    def test_pack_signed_identical_values_zero_bits(self):
+        values = np.zeros(100, dtype=np.int64)
+        data, bits = bitpack.pack_signed(values)
+        assert bits == 0
+        assert data == b""

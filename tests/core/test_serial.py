@@ -1,0 +1,89 @@
+"""Tests for the shared binary header format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import serial
+from repro.core.errors import CodecError
+
+
+class TestArrayHeader:
+    def test_roundtrip(self):
+        header = serial.pack_array_header(np.dtype(np.float32), (3, 4, 5))
+        dtype, shape, offset = serial.unpack_array_header(header)
+        assert dtype == np.dtype(np.float32)
+        assert shape == (3, 4, 5)
+        assert offset == len(header)
+
+    def test_scalar_shape(self):
+        header = serial.pack_array_header(np.dtype(np.int8), ())
+        dtype, shape, _ = serial.unpack_array_header(header)
+        assert shape == ()
+
+    def test_with_offset_and_trailer(self):
+        header = serial.pack_array_header(np.dtype(np.int64), (7,))
+        blob = b"xx" + header + b"payload"
+        dtype, shape, offset = serial.unpack_array_header(blob, 2)
+        assert shape == (7,)
+        assert blob[offset:] == b"payload"
+
+    def test_corrupt_header(self):
+        with pytest.raises(CodecError):
+            serial.unpack_array_header(b"\x05ab")
+        with pytest.raises(CodecError):
+            serial.unpack_array_header(b"")
+
+    def test_too_many_dims_rejected(self):
+        with pytest.raises(CodecError):
+            serial.pack_array_header(np.dtype(np.int8), (1,) * 300)
+
+    @settings(max_examples=50, deadline=None)
+    @given(shape=st.lists(st.integers(0, 10 ** 6), max_size=8),
+           dtype=st.sampled_from(["<i4", "<f8", "<u2", "<i8"]))
+    def test_roundtrip_property(self, shape, dtype):
+        header = serial.pack_array_header(np.dtype(dtype), tuple(shape))
+        out_dtype, out_shape, _ = serial.unpack_array_header(header)
+        assert out_dtype == np.dtype(dtype)
+        assert out_shape == tuple(shape)
+
+
+class TestLengthPrefixedBytes:
+    def test_roundtrip(self):
+        blob = serial.pack_bytes(b"hello") + serial.pack_bytes(b"")
+        first, offset = serial.unpack_bytes(blob)
+        second, offset = serial.unpack_bytes(blob, offset)
+        assert first == b"hello"
+        assert second == b""
+        assert offset == len(blob)
+
+    def test_truncated(self):
+        blob = serial.pack_bytes(b"hello")
+        with pytest.raises(CodecError):
+            serial.unpack_bytes(blob[:-1])
+        with pytest.raises(CodecError):
+            serial.unpack_bytes(b"\x01")
+
+
+class TestScalars:
+    def test_u8_roundtrip(self):
+        blob = serial.pack_u8(200)
+        value, offset = serial.unpack_u8(blob)
+        assert value == 200
+        assert offset == 1
+
+    def test_i64_roundtrip(self):
+        for value in (0, -1, 2 ** 62, -(2 ** 62)):
+            blob = serial.pack_i64(value)
+            out, offset = serial.unpack_i64(blob)
+            assert out == value
+            assert offset == 8
+
+    def test_truncated_scalars(self):
+        with pytest.raises(CodecError):
+            serial.unpack_u8(b"")
+        with pytest.raises(CodecError):
+            serial.unpack_i64(b"\x00\x01")

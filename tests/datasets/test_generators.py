@@ -1,0 +1,158 @@
+"""Tests that the dataset simulators have the properties the paper relies on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import numeric
+from repro.datasets import (
+    ConceptNetGenerator,
+    conceptnet_series,
+    noaa_series,
+    osm_series,
+    panorama_series,
+    paper_n2_series,
+    periodic_series,
+)
+from repro.delta import HybridDeltaCodec
+
+
+def _delta_ratio(a: np.ndarray, b: np.ndarray) -> float:
+    """Encoded delta bytes / raw bytes: small = similar versions."""
+    return len(HybridDeltaCodec().encode(a, b)) / a.nbytes
+
+
+class TestNOAA:
+    def test_shapes_and_dtype(self):
+        series = noaa_series(3, shape=(32, 48))
+        assert set(series) == {"humidity", "pressure", "wind_speed"}
+        for frames in series.values():
+            assert len(frames) == 3
+            assert frames[0].shape == (32, 48)
+            assert frames[0].dtype == np.float32
+
+    def test_deterministic(self):
+        a = noaa_series(2, shape=(16, 16), seed=7)
+        b = noaa_series(2, shape=(16, 16), seed=7)
+        np.testing.assert_array_equal(a["humidity"][1], b["humidity"][1])
+
+    def test_consecutive_frames_similar_but_not_identical(self):
+        frames = noaa_series(4, shape=(64, 64))["humidity"]
+        for previous, current in zip(frames, frames[1:]):
+            assert not np.array_equal(previous, current)
+            # Delta-compressible: similar, per Figure 4.
+            assert _delta_ratio(current, previous) < 0.9
+
+    def test_has_single_pixel_outliers(self):
+        frames = noaa_series(2, shape=(64, 64))["humidity"]
+        diff = np.abs(frames[1].astype(np.float64)
+                      - frames[0].astype(np.float64))
+        # A few cells change by far more than the median drift.
+        assert np.max(diff) > 10 * (np.median(diff) + 1e-6)
+
+
+class TestConceptNet:
+    def test_snapshot_shape(self):
+        snapshots = conceptnet_series(3, size=256, nnz=500)
+        assert len(snapshots) == 3
+        first = snapshots[0]
+        assert first.nnz == 500
+        assert first.coords.shape == (500, 2)
+        assert first.values.dtype == np.int32
+        assert (first.values > 0).all()
+
+    def test_sparsity(self):
+        snapshot = conceptnet_series(1, size=256, nnz=500)[0]
+        dense = snapshot.to_dense()
+        density = np.count_nonzero(dense) / dense.size
+        assert density < 0.01
+
+    def test_weekly_churn_is_small(self):
+        snapshots = conceptnet_series(3, size=256, nnz=500)
+        first = set(map(tuple, snapshots[0].coords))
+        second = set(map(tuple, snapshots[1].coords))
+        shared = len(first & second)
+        assert shared > 0.9 * len(first)
+        assert first != second
+
+    def test_power_law_hubs(self):
+        snapshot = conceptnet_series(1, size=1024, nnz=2000)[0]
+        rows, counts = np.unique(snapshot.coords[:, 0],
+                                 return_counts=True)
+        # A hub node carries far more relations than the median node.
+        assert counts.max() >= 5 * np.median(counts)
+
+    def test_too_dense_rejected(self):
+        with pytest.raises(ValueError):
+            ConceptNetGenerator(size=10, nnz=100)
+
+
+class TestOSM:
+    def test_weekly_series(self):
+        tiles = osm_series(4, shape=(128, 128))
+        assert len(tiles) == 4
+        assert tiles[0].dtype == np.uint8
+
+    def test_mostly_background(self):
+        tile = osm_series(1, shape=(128, 128))[0]
+        background_fraction = np.mean(tile == 235)
+        assert background_fraction > 0.5
+
+    def test_extremely_delta_friendly(self):
+        # "The OSM data generally differs less between consecutive
+        # versions than the NOAA data."
+        tiles = osm_series(3, shape=(128, 128))
+        osm_ratio = _delta_ratio(tiles[1], tiles[0])
+        noaa = noaa_series(2, shape=(128, 128))["humidity"]
+        noaa_ratio = _delta_ratio(noaa[1], noaa[0])
+        assert osm_ratio < noaa_ratio
+
+    def test_versions_differ(self):
+        tiles = osm_series(3, shape=(128, 128))
+        assert not np.array_equal(tiles[0], tiles[1])
+
+
+class TestPanorama:
+    def test_periodicity(self):
+        frames = panorama_series(16, shape=(64, 64), period=4)
+        # Same phase one period apart: near identical.
+        same_phase = _delta_ratio(frames[4], frames[0])
+        adjacent = _delta_ratio(frames[1], frames[0])
+        assert same_phase < adjacent / 2
+
+    def test_adjacent_frames_differ_strongly(self):
+        frames = panorama_series(4, shape=(64, 64), period=4)
+        changed = np.mean(frames[0] != frames[1])
+        assert changed > 0.3
+
+
+class TestPeriodic:
+    def test_exact_recurrence(self):
+        versions = periodic_series(9, distinct=3, shape=(16, 16))
+        np.testing.assert_array_equal(versions[0], versions[3])
+        np.testing.assert_array_equal(versions[1], versions[7])
+        assert not np.array_equal(versions[0], versions[1])
+
+    def test_distinct_patterns_difference_badly(self):
+        versions = periodic_series(4, distinct=2, shape=(32, 32))
+        cross = _delta_ratio(versions[1], versions[0])
+        recur = _delta_ratio(versions[2], versions[0])
+        assert recur < 0.01
+        assert cross > 0.8  # near-incompressible against each other
+
+    def test_paper_configurations(self):
+        n2 = paper_n2_series(total=6, shape=(8, 8))
+        assert len(n2) == 6
+        np.testing.assert_array_equal(n2[0], n2[3])  # period three
+        assert not np.array_equal(n2[0], n2[1])
+
+    def test_noise_cells(self):
+        versions = periodic_series(4, distinct=2, shape=(16, 16),
+                                   noise_cells=3)
+        diff = versions[2] != versions[0]
+        assert 0 < diff.sum() <= 6
+
+    def test_invalid_distinct(self):
+        with pytest.raises(ValueError):
+            periodic_series(4, distinct=0)

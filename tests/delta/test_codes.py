@@ -1,0 +1,127 @@
+"""Direct unit tests for the shared code-array encoders and estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import numeric
+from repro.core.errors import CodecError
+from repro.delta import codes
+
+
+class TestDeltaToCodes:
+    def test_arith_zigzag(self):
+        delta = np.array([0, -1, 1, 100], dtype=np.int64)
+        out = codes.delta_to_codes(delta, numeric.ARITHMETIC)
+        np.testing.assert_array_equal(
+            out, np.array([0, 1, 2, 200], dtype=np.uint64))
+
+    def test_xor_passthrough(self):
+        delta = np.array([0, 7, 2**40], dtype=np.uint64)
+        out = codes.delta_to_codes(delta, numeric.XOR)
+        np.testing.assert_array_equal(out, delta)
+
+    def test_roundtrip_both_modes(self, rng):
+        arith = rng.integers(-1000, 1000, 50).astype(np.int64)
+        back = codes.codes_to_delta(
+            codes.delta_to_codes(arith, numeric.ARITHMETIC),
+            numeric.ARITHMETIC)
+        np.testing.assert_array_equal(back, arith)
+
+    def test_unknown_mode(self):
+        with pytest.raises(CodecError):
+            codes.delta_to_codes(np.zeros(1, dtype=np.int64), "nope")
+        with pytest.raises(CodecError):
+            codes.codes_to_delta(np.zeros(1, dtype=np.uint64), "nope")
+
+
+class TestSizeEstimators:
+    """The estimators feed the Materialization Matrix: they must equal
+    the actual encoded sizes, not approximate them."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(st.integers(0, 2**40), min_size=1,
+                           max_size=300))
+    def test_dense_size_exact(self, values):
+        array = np.array(values, dtype=np.uint64)
+        assert codes.dense_size(array) == len(codes.encode_dense(array))
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(st.integers(0, 2**40), min_size=1,
+                           max_size=300))
+    def test_sparse_size_exact(self, values):
+        array = np.array(values, dtype=np.uint64)
+        assert codes.sparse_size(array) == len(codes.encode_sparse(array))
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(st.integers(0, 2**40), min_size=1,
+                           max_size=300))
+    def test_hybrid_size_exact(self, values):
+        array = np.array(values, dtype=np.uint64)
+        assert codes.hybrid_size(array) == len(codes.encode_hybrid(array))
+
+    def test_hybrid_never_worse_than_dense_or_sparse_estimates(self, rng):
+        for _ in range(20):
+            mix = np.concatenate([
+                rng.integers(0, 8, 200).astype(np.uint64),
+                rng.integers(0, 2**50, rng.integers(0, 50))
+                .astype(np.uint64),
+            ])
+            hybrid = codes.hybrid_size(mix)
+            assert hybrid <= codes.dense_size(mix) + 16
+            assert hybrid <= codes.sparse_size(mix) + 16
+
+
+class TestHybridSplit:
+    def test_all_zero_width_zero(self):
+        array = np.zeros(100, dtype=np.uint64)
+        assert codes.hybrid_split_width(array) == 0
+
+    def test_uniform_small_codes_no_outliers(self):
+        array = np.full(1000, 6, dtype=np.uint64)  # 3-bit codes
+        assert codes.hybrid_split_width(array) == 3
+
+    def test_outliers_split_off(self):
+        # 990 tiny codes + 10 huge ones: the split width must track the
+        # tiny population, not the maximum.
+        array = np.concatenate([
+            np.full(990, 3, dtype=np.uint64),
+            np.full(10, 2**50, dtype=np.uint64),
+        ])
+        width = codes.hybrid_split_width(array)
+        assert width <= 8
+
+    def test_roundtrip_with_outliers(self, rng):
+        array = np.concatenate([
+            rng.integers(0, 16, 500).astype(np.uint64),
+            rng.integers(2**30, 2**45, 25).astype(np.uint64),
+        ])
+        rng.shuffle(array)
+        blob = codes.encode_hybrid(array)
+        out, offset = codes.decode_hybrid(blob, 0, len(array))
+        np.testing.assert_array_equal(out, array)
+        assert offset == len(blob)
+
+    def test_decode_rejects_bad_positions(self):
+        array = np.array([1, 2**40], dtype=np.uint64)
+        blob = codes.encode_hybrid(array)
+        # Claim fewer cells than the outlier positions reference.
+        with pytest.raises(CodecError):
+            codes.decode_hybrid(blob, 0, 1)
+
+
+class TestEmptyArrays:
+    def test_dense_empty(self):
+        empty = np.zeros(0, dtype=np.uint64)
+        blob = codes.encode_dense(empty)
+        out, _ = codes.decode_dense(blob, 0, 0)
+        assert out.size == 0
+
+    def test_sparse_empty(self):
+        empty = np.zeros(0, dtype=np.uint64)
+        blob = codes.encode_sparse(empty)
+        out, _ = codes.decode_sparse(blob, 0, 0)
+        assert out.size == 0

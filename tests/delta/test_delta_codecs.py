@@ -1,0 +1,242 @@
+"""Round-trip and behaviour tests for the delta codecs (Table I set)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.errors import CodecError, DeltaShapeMismatchError
+from repro.delta import (
+    BSDiffDeltaCodec,
+    DenseDeltaCodec,
+    HybridDeltaCodec,
+    MPEGLikeDeltaCodec,
+    SparseDeltaCodec,
+    delta_codec_names,
+    get_delta_codec,
+)
+
+ALL_CODECS = [
+    DenseDeltaCodec(),
+    SparseDeltaCodec(),
+    HybridDeltaCodec(),
+    HybridDeltaCodec(lz=True),
+    MPEGLikeDeltaCodec(block=8, radius=2),
+    BSDiffDeltaCodec(),
+]
+BIDIRECTIONAL = [codec for codec in ALL_CODECS if codec.bidirectional]
+DTYPES = [np.uint8, np.int16, np.int32, np.int64, np.float32, np.float64]
+
+
+def _pair(dtype, shape, rng, similarity=0.95):
+    """Two versions that agree on ~similarity of their cells."""
+    if np.dtype(dtype).kind == "f":
+        base = rng.normal(0, 100, size=shape).astype(dtype)
+        noise = rng.normal(0, 1, size=shape).astype(dtype)
+    else:
+        info = np.iinfo(dtype)
+        lo, hi = max(info.min, -1000), min(info.max, 1000)
+        base = rng.integers(lo, hi, size=shape).astype(dtype)
+        noise = rng.integers(-3, 4, size=shape).astype(dtype)
+    mask = rng.random(size=shape) > similarity
+    with np.errstate(over="ignore"):
+        target = np.where(mask, base + noise, base).astype(dtype)
+    return target, base
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+class TestForwardRoundTrip:
+    @pytest.mark.parametrize("dtype", DTYPES, ids=str)
+    def test_similar_versions(self, codec, dtype, rng):
+        target, base = _pair(dtype, (24, 32), rng)
+        data = codec.encode(target, base)
+        out = codec.decode_forward(data, base)
+        assert out.tobytes() == target.tobytes()
+        assert out.shape == target.shape
+        assert out.dtype == target.dtype
+
+    def test_identical_versions(self, codec, rng):
+        base = rng.normal(0, 10, size=(16, 16)).astype(np.float32)
+        data = codec.encode(base.copy(), base)
+        out = codec.decode_forward(data, base)
+        assert out.tobytes() == base.tobytes()
+
+    def test_completely_different(self, codec, rng):
+        target = rng.integers(0, 2**31, size=(8, 8)).astype(np.int32)
+        base = rng.integers(0, 2**31, size=(8, 8)).astype(np.int32)
+        data = codec.encode(target, base)
+        out = codec.decode_forward(data, base)
+        assert out.tobytes() == target.tobytes()
+
+    def test_1d(self, codec, rng):
+        target, base = _pair(np.int32, (100,), rng)
+        data = codec.encode(target, base)
+        assert codec.decode_forward(data, base).tobytes() == target.tobytes()
+
+    def test_3d(self, codec, rng):
+        target, base = _pair(np.int16, (4, 6, 8), rng)
+        data = codec.encode(target, base)
+        out = codec.decode_forward(data, base)
+        assert out.tobytes() == target.tobytes()
+        assert out.shape == target.shape
+
+    def test_shape_mismatch_rejected(self, codec):
+        with pytest.raises(DeltaShapeMismatchError):
+            codec.encode(np.zeros((2, 2), dtype=np.int32),
+                         np.zeros((2, 3), dtype=np.int32))
+
+    def test_nan_inf_bit_exact(self, codec):
+        base = np.array([[1.0, np.nan], [np.inf, -0.0]], dtype=np.float64)
+        target = np.array([[np.nan, np.nan], [np.inf, 2.0]],
+                          dtype=np.float64)
+        data = codec.encode(target, base)
+        out = codec.decode_forward(data, base)
+        assert out.tobytes() == target.tobytes()
+
+
+@pytest.mark.parametrize("codec", BIDIRECTIONAL, ids=lambda c: c.name)
+class TestBackwardRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.int32, np.float64], ids=str)
+    def test_base_from_target(self, codec, dtype, rng):
+        target, base = _pair(dtype, (20, 20), rng)
+        data = codec.encode(target, base)
+        out = codec.decode_backward(data, target)
+        assert out.tobytes() == base.tobytes()
+
+
+class TestDirectionalCodecs:
+    @pytest.mark.parametrize("codec",
+                             [MPEGLikeDeltaCodec(), BSDiffDeltaCodec()],
+                             ids=lambda c: c.name)
+    def test_backward_rejected(self, codec, rng):
+        target, base = _pair(np.int32, (8, 8), rng)
+        data = codec.encode(target, base)
+        with pytest.raises(CodecError):
+            codec.decode_backward(data, target)
+
+
+class TestSizes:
+    def test_identical_versions_negligible_space(self, rng):
+        # Section III-B.3: identical arrays must delta to ~nothing.
+        base = rng.normal(0, 10, size=(64, 64)).astype(np.float64)
+        for codec in (DenseDeltaCodec(), SparseDeltaCodec(),
+                      HybridDeltaCodec()):
+            size = len(codec.encode(base.copy(), base))
+            assert size < 64, f"{codec.name} used {size} bytes"
+
+    def test_sparse_wins_on_few_changes(self, rng):
+        base = rng.integers(0, 2**20, size=(64, 64)).astype(np.int32)
+        target = base.copy()
+        target[5, 5] += 1  # a single changed cell
+        sparse = len(SparseDeltaCodec().encode(target, base))
+        dense = len(DenseDeltaCodec().encode(target, base))
+        assert sparse < dense
+
+    def test_dense_wins_on_small_everywhere_changes(self, rng):
+        base = rng.integers(0, 2**20, size=(64, 64)).astype(np.int32)
+        with np.errstate(over="ignore"):
+            target = base + rng.integers(-2, 3, size=(64, 64)).astype(np.int32)
+        sparse = len(SparseDeltaCodec().encode(target, base))
+        dense = len(DenseDeltaCodec().encode(target, base))
+        assert dense < sparse
+
+    def test_hybrid_never_worse_than_dense_or_sparse(self, rng):
+        # The hybrid cost search includes both extremes.
+        for similarity in (0.5, 0.9, 0.99):
+            target, base = _pair(np.int32, (48, 48), rng,
+                                 similarity=similarity)
+            hybrid = len(HybridDeltaCodec().encode(target, base))
+            dense = len(DenseDeltaCodec().encode(target, base))
+            sparse = len(SparseDeltaCodec().encode(target, base))
+            assert hybrid <= min(dense, sparse) + 16
+
+    def test_encoded_size_matches_actual(self, rng):
+        target, base = _pair(np.int32, (32, 32), rng)
+        for codec in (DenseDeltaCodec(), SparseDeltaCodec(),
+                      HybridDeltaCodec()):
+            assert codec.encoded_size(target, base) == \
+                len(codec.encode(target, base))
+
+    def test_mpeg_detects_shift(self, rng):
+        # A pure translation must produce a much smaller residual with
+        # motion compensation than with the plain hybrid delta.
+        base = rng.integers(0, 255, size=(64, 64)).astype(np.uint8)
+        target = np.roll(base, shift=(3, 2), axis=(0, 1))
+        mpeg = MPEGLikeDeltaCodec(block=16, radius=4)
+        hybrid = HybridDeltaCodec()
+        mpeg_size = len(mpeg.encode(target, base))
+        hybrid_size = len(hybrid.encode(target, base))
+        assert mpeg_size < hybrid_size / 4
+        out = mpeg.decode_forward(mpeg.encode(target, base), base)
+        assert out.tobytes() == target.tobytes()
+
+    def test_bsdiff_compresses_mostly_equal_bytes(self, rng):
+        base = rng.integers(0, 255, size=4096).astype(np.uint8)
+        target = base.copy()
+        target[100:120] += 1
+        size = len(BSDiffDeltaCodec().encode(target, base))
+        assert size < base.nbytes / 4
+
+
+class TestSuffixArray:
+    def test_small_known(self):
+        from repro.delta import suffix_array
+
+        data = np.frombuffer(b"banana", dtype=np.uint8)
+        sa = suffix_array(data)
+        suffixes = [bytes(data[i:]).decode() for i in sa]
+        assert suffixes == sorted("banana"[i:] for i in range(6))
+
+    def test_empty(self):
+        from repro.delta import suffix_array
+
+        assert suffix_array(np.zeros(0, dtype=np.uint8)).size == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=200))
+    def test_sorted_property(self, data):
+        from repro.delta import suffix_array
+
+        array = np.frombuffer(data, dtype=np.uint8)
+        sa = suffix_array(array)
+        suffixes = [data[i:] for i in sa]
+        assert suffixes == sorted(data[i:] for i in range(len(data)))
+
+
+class TestRegistry:
+    def test_names(self):
+        names = delta_codec_names()
+        for expected in ("dense", "sparse", "hybrid", "hybrid+lz",
+                         "mpeg-like", "bsdiff"):
+            assert expected in names
+
+    def test_get(self):
+        assert get_delta_codec("hybrid").name == "hybrid"
+        assert get_delta_codec("hybrid+lz").lz
+
+    def test_unknown(self):
+        with pytest.raises(CodecError):
+            get_delta_codec("vcdiff")
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(),
+       codec_name=st.sampled_from(["dense", "sparse", "hybrid",
+                                   "hybrid+lz"]))
+def test_roundtrip_property(data, codec_name):
+    codec = get_delta_codec(codec_name)
+    dtype = data.draw(st.sampled_from([np.int32, np.float64]))
+    shape = data.draw(hnp.array_shapes(min_dims=1, max_dims=3, max_side=10))
+    elements = (
+        st.floats(allow_nan=False, width=64)
+        if np.dtype(dtype).kind == "f"
+        else st.integers(np.iinfo(dtype).min, np.iinfo(dtype).max)
+    )
+    target = data.draw(hnp.arrays(dtype, shape, elements=elements))
+    base = data.draw(hnp.arrays(dtype, shape, elements=elements))
+    blob = codec.encode(target, base)
+    assert codec.decode_forward(blob, base).tobytes() == target.tobytes()
+    assert codec.decode_backward(blob, target).tobytes() == base.tobytes()

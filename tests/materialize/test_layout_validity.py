@@ -1,0 +1,166 @@
+"""Layout validity tests — Figure 3 and Observations 1-4 (Section IV-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidLayoutError
+from repro.materialize import Layout, MaterializationMatrix
+
+
+class TestFigure3:
+    """The paper's worked example: three versions, two candidate layouts."""
+
+    def test_cycle_layout_invalid(self):
+        # Left of Figure 3: V1 <- V2 <- V3 <- V1 — a pure delta cycle.
+        layout = Layout({1: 2, 2: 3, 3: 1})
+        assert not layout.is_valid()
+        with pytest.raises(InvalidLayoutError):
+            layout.require_valid()
+
+    def test_chain_with_materialized_root_valid(self):
+        # Right of Figure 3: V1 <- V2 <- V3 with V3 materialized.
+        layout = Layout({1: 2, 2: 3, 3: None})
+        assert layout.is_valid()
+        assert layout.materialized == (3,)
+
+
+class TestObservations:
+    def test_observation1_edge_count(self):
+        layout = Layout({1: None, 2: 1, 3: 1, 4: 2})
+        assert layout.edge_count == 4  # n edges for n versions
+
+    def test_observation2_any_cycle_invalid(self):
+        # Even with another materialized version present, a cycle among
+        # other versions leaves them unreconstructable.
+        layout = Layout({1: 2, 2: 1, 3: None})
+        assert not layout.is_valid()
+
+    def test_observation3_one_root_per_component(self):
+        valid = Layout({1: None, 2: 1, 3: None, 4: 3})
+        assert valid.is_valid()
+        # Two components, but one has no materialization.
+        no_root = Layout({1: None, 2: 1, 3: 4, 4: 3})
+        assert not no_root.is_valid()
+
+    def test_observation4_forest_is_valid(self):
+        forest = Layout({1: None, 2: 1, 3: 1, 4: None, 5: 4, 6: 5})
+        assert forest.is_valid()
+
+    def test_self_delta_invalid(self):
+        assert not Layout({1: 1}).is_valid()
+
+    def test_parent_outside_layout_invalid(self):
+        assert not Layout({1: None, 2: 99}).is_valid()
+
+    def test_all_materialized_valid(self):
+        assert Layout.all_materialized([1, 2, 3]).is_valid()
+
+    def test_single_version(self):
+        assert Layout({7: None}).is_valid()
+        assert not Layout({7: 7}).is_valid()
+
+
+class TestPathsAndClosures:
+    @pytest.fixture
+    def layout(self) -> Layout:
+        #      4 (materialized)
+        #     / \
+        #    3   5
+        #    |
+        #    2
+        #    |
+        #    1
+        return Layout({4: None, 3: 4, 5: 4, 2: 3, 1: 2})
+
+    def test_path_to_root(self, layout):
+        assert layout.path_to_root(1) == [1, 2, 3, 4]
+        assert layout.path_to_root(5) == [5, 4]
+        assert layout.path_to_root(4) == [4]
+
+    def test_path_missing_version(self, layout):
+        with pytest.raises(InvalidLayoutError):
+            layout.path_to_root(42)
+
+    def test_closure_union(self, layout):
+        assert layout.closure([1]) == {1, 2, 3, 4}
+        assert layout.closure([5]) == {5, 4}
+        assert layout.closure([1, 5]) == {1, 2, 3, 4, 5}
+
+    def test_cycle_detected_on_path(self):
+        broken = Layout({1: 2, 2: 1})
+        with pytest.raises(InvalidLayoutError):
+            broken.path_to_root(1)
+
+
+class TestCosts:
+    @pytest.fixture
+    def matrix(self) -> MaterializationMatrix:
+        costs = np.array([
+            [100.0, 10.0, 50.0],
+            [10.0, 100.0, 20.0],
+            [50.0, 20.0, 100.0],
+        ])
+        return MaterializationMatrix(versions=(1, 2, 3), costs=costs)
+
+    def test_total_size(self, matrix):
+        chain = Layout({1: None, 2: 1, 3: 2})
+        assert chain.total_size(matrix) == 100 + 10 + 20
+
+    def test_io_cost_counts_closure_sizes(self, matrix):
+        chain = Layout({1: None, 2: 1, 3: 2})
+        # Query for version 3 must fetch 3 (20), 2 (10) and 1 (100).
+        assert chain.io_cost([3], matrix) == 130
+        assert chain.io_cost([1], matrix) == 100
+
+    def test_materialized_head_cheap_head_queries(self, matrix):
+        head = Layout({3: None, 2: 3, 1: 2})
+        assert head.io_cost([3], matrix) == 100
+        assert head.io_cost([1], matrix) == 100 + 20 + 10
+
+
+class TestConstructors:
+    def test_linear_chain_forward(self):
+        chain = Layout.linear_chain([1, 2, 3])
+        assert chain.parent_of == {1: None, 2: 1, 3: 2}
+
+    def test_linear_chain_backward(self):
+        chain = Layout.linear_chain([1, 2, 3], newest_materialized=True)
+        assert chain.parent_of == {3: None, 2: 3, 1: 2}
+
+    def test_linear_chain_empty_rejected(self):
+        with pytest.raises(InvalidLayoutError):
+            Layout.linear_chain([])
+
+    def test_with_parent_copies(self):
+        original = Layout({1: None, 2: 1})
+        changed = original.with_parent(2, None)
+        assert original.parent_of[2] == 1
+        assert changed.parent_of[2] is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data(), n=st.integers(1, 8))
+def test_random_parent_maps_validity_matches_reachability(data, n):
+    """Property: is_valid() == every version reconstructs to a root."""
+    versions = list(range(1, n + 1))
+    parent_of = {}
+    for v in versions:
+        parent_of[v] = data.draw(
+            st.one_of(st.none(), st.sampled_from(versions)))
+    layout = Layout(parent_of)
+
+    def reconstructs(v: int) -> bool:
+        seen = set()
+        while v is not None:
+            if v in seen:
+                return False
+            seen.add(v)
+            v = parent_of[v]
+        return True
+
+    expected = all(reconstructs(v) for v in versions)
+    assert layout.is_valid() == expected

@@ -1,0 +1,135 @@
+"""Tests for the Materialization Matrix (Section IV-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import LempelZivCodec
+from repro.core.errors import DeltaShapeMismatchError, ReproError
+from repro.materialize import MaterializationMatrix
+
+
+def _version_family(rng, count=5, shape=(32, 32)):
+    base = rng.integers(0, 10000, size=shape).astype(np.int32)
+    contents = {1: base}
+    for v in range(2, count + 1):
+        nxt = contents[v - 1].copy()
+        mask = rng.random(size=shape) > 0.95
+        nxt[mask] += rng.integers(1, 10)
+        contents[v] = nxt
+    return contents
+
+
+class TestBuild:
+    def test_symmetric(self, rng):
+        matrix = MaterializationMatrix.build(_version_family(rng))
+        np.testing.assert_allclose(matrix.costs, matrix.costs.T)
+
+    def test_diagonal_is_materialization(self, rng):
+        contents = _version_family(rng)
+        matrix = MaterializationMatrix.build(contents)
+        # Identity codec: materialized size ~ raw bytes + small header.
+        raw = contents[1].nbytes
+        assert raw <= matrix.materialize_size(1) <= raw + 64
+
+    def test_similar_versions_have_small_deltas(self, rng):
+        matrix = MaterializationMatrix.build(_version_family(rng))
+        assert matrix.delta_size(1, 2) < matrix.materialize_size(1) / 5
+
+    def test_custom_compressor(self, rng):
+        contents = {1: np.zeros((64, 64), dtype=np.int32),
+                    2: np.ones((64, 64), dtype=np.int32)}
+        matrix = MaterializationMatrix.build(
+            contents, compressor=LempelZivCodec())
+        # All-constant arrays LZ down to almost nothing.
+        assert matrix.materialize_size(1) < 200
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            MaterializationMatrix.build({})
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(DeltaShapeMismatchError):
+            MaterializationMatrix.build({
+                1: np.zeros((4, 4), dtype=np.int32),
+                2: np.zeros((4, 5), dtype=np.int32),
+            })
+
+    def test_size_accessors(self, rng):
+        matrix = MaterializationMatrix.build(_version_family(rng, count=3))
+        assert matrix.size(1, None) == matrix.materialize_size(1)
+        assert matrix.size(1, 2) == matrix.delta_size(1, 2)
+        with pytest.raises(ReproError):
+            matrix.delta_size(1, 1)
+        with pytest.raises(ReproError):
+            matrix.materialize_size(99)
+
+    def test_assumption_check(self, rng):
+        matrix = MaterializationMatrix.build(_version_family(rng))
+        # Similar versions: deltas always beat materialization.
+        assert matrix.materialization_always_larger()
+        # Unrelated uint8 versions: zigzag'ed deltas span [-255, 255]
+        # and need 9 bits per cell, more than the 8-bit materialization.
+        unrelated = {
+            1: rng.integers(0, 256, (64, 64)).astype(np.uint8),
+            2: rng.integers(0, 256, (64, 64)).astype(np.uint8),
+        }
+        assert not MaterializationMatrix.build(
+            unrelated).materialization_always_larger()
+
+
+class TestSampling:
+    def test_sampled_estimate_close_to_exact(self, rng):
+        contents = _version_family(rng, count=4, shape=(128, 128))
+        exact = MaterializationMatrix.build(contents)
+        sampled = MaterializationMatrix.build(
+            contents, sample_fraction=0.05, rng=rng)
+        for i in (1, 2, 3):
+            estimate = sampled.delta_size(i, i + 1)
+            truth = exact.delta_size(i, i + 1)
+            assert estimate == pytest.approx(truth, rel=0.5, abs=200)
+
+    def test_sampled_is_cheaper_to_build(self, rng):
+        # Structural check: the sample really is smaller than the array.
+        contents = _version_family(rng, count=3, shape=(64, 64))
+        matrix = MaterializationMatrix.build(
+            contents, sample_fraction=0.01, rng=rng)
+        assert matrix.n == 3  # built successfully from 1% of cells
+
+    def test_invalid_fraction(self, rng):
+        contents = _version_family(rng, count=2)
+        with pytest.raises(ReproError):
+            MaterializationMatrix.build(contents, sample_fraction=0.0)
+        with pytest.raises(ReproError):
+            MaterializationMatrix.build(contents, sample_fraction=1.5)
+
+
+class TestRestrict:
+    def test_submatrix(self, rng):
+        matrix = MaterializationMatrix.build(_version_family(rng, count=5))
+        sub = matrix.restrict([2, 4, 5])
+        assert sub.versions == (2, 4, 5)
+        assert sub.delta_size(2, 4) == matrix.delta_size(2, 4)
+        assert sub.materialize_size(5) == matrix.materialize_size(5)
+
+    def test_restrict_unknown_version(self, rng):
+        matrix = MaterializationMatrix.build(_version_family(rng, count=3))
+        with pytest.raises(ReproError):
+            matrix.restrict([1, 99])
+
+
+class TestFromManager:
+    def test_matches_in_memory_build(self, tmp_path, rng):
+        from repro.core.schema import ArraySchema
+        from repro.storage import VersionedStorageManager
+
+        contents = _version_family(rng, count=3, shape=(16, 16))
+        manager = VersionedStorageManager(tmp_path, chunk_bytes=1 << 20)
+        manager.create_array("A", ArraySchema.simple((16, 16),
+                                                     dtype=np.int32))
+        for v in sorted(contents):
+            manager.insert("A", contents[v])
+        from_manager = MaterializationMatrix.from_manager(manager, "A")
+        direct = MaterializationMatrix.build(contents)
+        np.testing.assert_allclose(from_manager.costs, direct.costs)

@@ -1,0 +1,65 @@
+"""Tests for chunk-fraction region queries in the IV-D cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.materialize import (
+    Layout,
+    MaterializationMatrix,
+    RegionQuery,
+    WeightedQuery,
+    greedy_workload_layout,
+    workload_cost,
+)
+
+
+@pytest.fixture
+def matrix() -> MaterializationMatrix:
+    costs = np.array([
+        [100.0, 10.0, 20.0],
+        [10.0, 100.0, 10.0],
+        [20.0, 10.0, 100.0],
+    ])
+    return MaterializationMatrix(versions=(1, 2, 3), costs=costs)
+
+
+class TestRegionQuery:
+    def test_versions(self):
+        assert RegionQuery(3, fraction=0.25).versions() == (3,)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(WorkloadError):
+            RegionQuery(1, fraction=0.0)
+        with pytest.raises(WorkloadError):
+            RegionQuery(1, fraction=1.5)
+
+    def test_cost_scales_by_fraction(self, matrix):
+        chain = Layout({1: None, 2: 1, 3: 2})
+        full = workload_cost(chain,
+                             [WeightedQuery(RegionQuery(3, 1.0))], matrix)
+        quarter = workload_cost(chain,
+                                [WeightedQuery(RegionQuery(3, 0.25))],
+                                matrix)
+        assert quarter == pytest.approx(full / 4)
+
+    def test_default_fraction_matches_snapshot(self, matrix):
+        from repro.materialize import SnapshotQuery
+
+        chain = Layout({1: None, 2: 1, 3: 2})
+        region = workload_cost(chain,
+                               [WeightedQuery(RegionQuery(2))], matrix)
+        snapshot = workload_cost(chain,
+                                 [WeightedQuery(SnapshotQuery(2))],
+                                 matrix)
+        assert region == snapshot
+
+    def test_optimizer_accepts_region_queries(self, matrix):
+        workload = [WeightedQuery(RegionQuery(3, 0.1), weight=100.0),
+                    WeightedQuery(RegionQuery(1, 0.9), weight=1.0)]
+        layout = greedy_workload_layout(matrix, workload)
+        assert layout.is_valid()
+        # The hammered version's reconstruction must be cheap.
+        assert layout.io_cost([3], matrix) <= 110

@@ -1,0 +1,246 @@
+"""Tests for the spanning-tree / forest layout algorithms (Section IV-C)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.materialize import (
+    Layout,
+    MaterializationMatrix,
+    UnionFind,
+    algorithm1_mst,
+    algorithm2_forest,
+    kruskal_mst,
+    optimal_layout,
+    prim_mst,
+)
+
+
+def _matrix(costs: list[list[float]]) -> MaterializationMatrix:
+    array = np.array(costs, dtype=float)
+    return MaterializationMatrix(
+        versions=tuple(range(1, len(costs) + 1)), costs=array)
+
+
+def _brute_force_optimum(matrix: MaterializationMatrix) -> float:
+    """Minimum total size over every valid layout (tiny n only)."""
+    versions = matrix.versions
+    best = np.inf
+    choices = [(None, *[u for u in versions if u != v]) for v in versions]
+    for assignment in itertools.product(*choices):
+        layout = Layout(dict(zip(versions, assignment)))
+        if layout.is_valid():
+            best = min(best, layout.total_size(matrix))
+    return best
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind([1, 2, 3, 4])
+        assert uf.union(1, 2)
+        assert not uf.union(2, 1)
+        assert uf.find(1) == uf.find(2)
+        assert uf.find(3) != uf.find(1)
+
+    def test_union_by_size_path_compression(self):
+        uf = UnionFind(range(100))
+        for i in range(99):
+            uf.union(i, i + 1)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(100))
+
+
+class TestMSTPrimitives:
+    def test_kruskal_known_graph(self):
+        edges = [(1.0, 1, 2), (2.0, 2, 3), (10.0, 1, 3)]
+        mst = kruskal_mst([1, 2, 3], edges)
+        assert sum(w for w, _, _ in mst) == 3.0
+
+    def test_prim_agrees_with_kruskal(self, rng):
+        nodes = list(range(6))
+        weights = {}
+        edges = []
+        for a in nodes:
+            for b in nodes:
+                if a < b:
+                    w = float(rng.integers(1, 100))
+                    weights[(a, b)] = w
+                    weights[(b, a)] = w
+                    edges.append((w, a, b))
+        kruskal_total = sum(w for w, _, _ in kruskal_mst(nodes, edges))
+        prim_total = sum(w for w, _, _ in prim_mst(nodes, weights))
+        assert kruskal_total == prim_total
+
+
+class TestAlgorithm1:
+    def test_single_version(self):
+        layout = algorithm1_mst(_matrix([[42.0]]))
+        assert layout.parent_of == {1: None}
+
+    def test_roots_at_cheapest_materialization(self):
+        matrix = _matrix([
+            [100, 5, 9],
+            [5, 60, 5],
+            [9, 5, 90],
+        ])
+        layout = algorithm1_mst(matrix)
+        assert layout.materialized == (2,)
+        assert layout.is_valid()
+
+    def test_optimal_when_assumption_holds(self):
+        # Deltas all cheaper than any materialization: Algorithm 1 must
+        # equal the exact optimum (the paper's claim).
+        matrix = _matrix([
+            [100, 10, 30, 40],
+            [10, 110, 15, 35],
+            [30, 15, 120, 12],
+            [40, 35, 12, 90],
+        ])
+        assert matrix.materialization_always_larger()
+        layout = algorithm1_mst(matrix)
+        assert layout.total_size(matrix) == _brute_force_optimum(matrix)
+
+    def test_prim_variant_same_cost(self):
+        matrix = _matrix([
+            [100, 10, 30],
+            [10, 110, 15],
+            [30, 15, 120],
+        ])
+        a = algorithm1_mst(matrix, use_prim=False)
+        b = algorithm1_mst(matrix, use_prim=True)
+        assert a.total_size(matrix) == b.total_size(matrix)
+
+
+class TestAlgorithm2:
+    def test_splits_when_materialization_beats_delta(self):
+        # Two clusters of similar versions with an expensive delta
+        # between them: materializing one per cluster wins.
+        matrix = _matrix([
+            [100, 5, 500, 500],
+            [5, 100, 500, 500],
+            [500, 500, 100, 5],
+            [500, 500, 5, 100],
+        ])
+        tree = algorithm1_mst(matrix)
+        forest = algorithm2_forest(matrix)
+        assert forest.total_size(matrix) < tree.total_size(matrix)
+        assert len(forest.materialized) == 2
+        assert forest.is_valid()
+        assert forest.total_size(matrix) == 100 + 5 + 100 + 5
+
+    def test_no_split_when_assumption_holds(self):
+        matrix = _matrix([
+            [100, 10, 30],
+            [10, 110, 15],
+            [30, 15, 120],
+        ])
+        tree = algorithm1_mst(matrix)
+        forest = algorithm2_forest(matrix)
+        assert forest.parent_of == tree.parent_of
+
+
+class TestOptimalLayout:
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(2, 6))
+            costs = rng.integers(1, 100, size=(n, n)).astype(float)
+            costs = (costs + costs.T) / 2
+            matrix = MaterializationMatrix(
+                versions=tuple(range(1, n + 1)), costs=costs)
+            layout = optimal_layout(matrix)
+            assert layout.is_valid()
+            assert layout.total_size(matrix) == \
+                pytest.approx(_brute_force_optimum(matrix))
+
+    def test_never_worse_than_heuristics(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(2, 7))
+            costs = rng.integers(1, 1000, size=(n, n)).astype(float)
+            costs = (costs + costs.T) / 2
+            matrix = MaterializationMatrix(
+                versions=tuple(range(1, n + 1)), costs=costs)
+            exact = optimal_layout(matrix).total_size(matrix)
+            assert exact <= algorithm1_mst(matrix).total_size(matrix) + 1e-9
+            assert exact <= algorithm2_forest(matrix) \
+                .total_size(matrix) + 1e-9
+
+    def test_algorithm1_matches_optimal_under_assumption(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(2, 6))
+            deltas = rng.integers(1, 50, size=(n, n)).astype(float)
+            deltas = (deltas + deltas.T) / 2
+            costs = deltas.copy()
+            np.fill_diagonal(costs, 1000.0)  # materialization dominates
+            matrix = MaterializationMatrix(
+                versions=tuple(range(1, n + 1)), costs=costs)
+            assert matrix.materialization_always_larger()
+            assert algorithm1_mst(matrix).total_size(matrix) == \
+                pytest.approx(optimal_layout(matrix).total_size(matrix))
+
+    def test_periodic_pattern_found(self):
+        """The Section V-D synthetic scenario in miniature: versions
+        recur with period 2; the optimal layout deltas each recurrence
+        against its previous occurrence, not its neighbour."""
+        big, tiny = 1000.0, 1.0
+        n = 6
+        costs = np.full((n, n), big)
+        for i in range(n):
+            for j in range(n):
+                if i != j and (i - j) % 2 == 0:
+                    costs[i, j] = tiny
+        matrix = MaterializationMatrix(
+            versions=tuple(range(1, n + 1)), costs=costs)
+        layout = optimal_layout(matrix)
+        # Expect: two materialized-ish clusters, all deltas tiny.
+        delta_edges = [(v, p) for v, p in layout.parent_of.items()
+                       if p is not None]
+        assert all((v - p) % 2 == 0 for v, p in delta_edges)
+        assert layout.total_size(matrix) == 2 * big + 4 * tiny
+
+    def test_real_version_family_linear_chainish(self, rng):
+        """Smoothly evolving versions: the optimum degenerates to a
+        linear chain (the Section V-D confirmation experiment)."""
+        shape = (32, 32)
+        base = rng.integers(0, 1000, size=shape).astype(np.int32)
+        contents = {1: base}
+        for v in range(2, 7):
+            nxt = contents[v - 1].copy()
+            # Monotone drift: nearby versions are closest.
+            nxt += rng.integers(0, 3, size=shape).astype(np.int32)
+            contents[v] = nxt
+        matrix = MaterializationMatrix.build(contents)
+        layout = optimal_layout(matrix)
+        # Every delta edge connects adjacent versions.
+        for version, parent in layout.parent_of.items():
+            if parent is not None:
+                assert abs(version - parent) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), n=st.integers(2, 5))
+def test_optimal_layout_property(data, n):
+    """optimal_layout is valid and never beaten by random valid layouts."""
+    values = data.draw(st.lists(
+        st.floats(min_value=1, max_value=1e6), min_size=n * n,
+        max_size=n * n))
+    costs = np.array(values).reshape(n, n)
+    costs = (costs + costs.T) / 2
+    matrix = MaterializationMatrix(versions=tuple(range(n)), costs=costs)
+    layout = optimal_layout(matrix)
+    assert layout.is_valid()
+    optimal_size = layout.total_size(matrix)
+
+    versions = matrix.versions
+    for _ in range(20):
+        parent_of = {}
+        for v in versions:
+            parent_of[v] = data.draw(st.one_of(
+                st.none(), st.sampled_from([u for u in versions if u != v])))
+        candidate = Layout(parent_of)
+        if candidate.is_valid():
+            assert optimal_size <= candidate.total_size(matrix) + 1e-6

@@ -1,0 +1,120 @@
+"""Tests for the harmonic-analysis delta estimator (Section IV-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.datasets import noaa_series
+from repro.materialize import MaterializationMatrix, optimal_layout
+from repro.materialize.spectral import (
+    SpectralEstimator,
+    estimate_delta_bits,
+    spectral_signature,
+)
+
+
+class TestSignature:
+    def test_shape_and_padding(self, rng):
+        small = rng.normal(0, 1, (4, 4))
+        signature = spectral_signature(small, k=16)
+        assert signature.shape == (16, 16)
+        # Regions beyond the array's spectrum stay zero.
+        assert np.all(signature[4:, :] == 0)
+
+    def test_1d_and_3d_inputs(self, rng):
+        assert spectral_signature(rng.normal(0, 1, 64), k=8).shape == (8, 8)
+        assert spectral_signature(rng.normal(0, 1, (4, 4, 4)),
+                                  k=8).shape == (8, 8)
+
+    def test_identical_arrays_zero_distance(self, rng):
+        array = rng.normal(0, 100, (32, 32))
+        a = spectral_signature(array)
+        b = spectral_signature(array.copy())
+        assert estimate_delta_bits(a, b) == 0.0
+
+    def test_distance_grows_with_difference(self, rng):
+        base = rng.normal(0, 10, (32, 32))
+        near = spectral_signature(base + 0.01)
+        far = spectral_signature(base + 10.0)
+        reference = spectral_signature(base)
+        assert estimate_delta_bits(reference, near) < \
+            estimate_delta_bits(reference, far)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            estimate_delta_bits(np.zeros((4, 4)), np.zeros((8, 8)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ReproError):
+            spectral_signature(np.zeros((4, 4)), k=0)
+
+    def test_sketch_much_smaller_than_array(self, rng):
+        estimator = SpectralEstimator(k=16)
+        array = rng.normal(0, 1, (512, 512))
+        assert estimator.signature_bytes(array) < array.nbytes / 100
+
+
+class TestSpectralMatrix:
+    def test_builds_symmetric_matrix(self, rng):
+        frames = noaa_series(5, shape=(64, 64))["humidity"]
+        contents = {i: f for i, f in enumerate(frames, 1)}
+        matrix = SpectralEstimator().build(contents)
+        assert matrix.n == 5
+        np.testing.assert_allclose(matrix.costs, matrix.costs.T)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            SpectralEstimator().build({})
+
+    def test_ranks_like_exact_matrix_on_smooth_drift(self):
+        """The estimator must order delta partners like the truth.
+
+        A cumulative low-frequency drift series: the further apart two
+        versions are, the larger their delta — the estimator's ordering
+        of candidate partners must be monotone in that distance
+        (distance *ties*, e.g. the two neighbours of an anchor, may
+        order either way).
+        """
+        rng = np.random.default_rng(7)
+        y = np.linspace(0, 2 * np.pi, 64, endpoint=False)
+        x = np.linspace(0, 2 * np.pi, 64, endpoint=False)
+        current = 100 * np.outer(np.sin(y), np.cos(x))
+        contents = {}
+        for version in range(1, 7):
+            contents[version] = np.round(current).astype(np.int32)
+            fy, fx = rng.integers(1, 3, size=2)
+            phase_y, phase_x = rng.uniform(0, 2 * np.pi, size=2)
+            current = current + 5 * np.outer(np.sin(fy * y + phase_y),
+                                             np.cos(fx * x + phase_x))
+        spectral = SpectralEstimator().build(contents)
+        exact = MaterializationMatrix.build(contents)
+        for anchor in (1, 3, 6):
+            others = [v for v in contents if v != anchor]
+            estimated_order = sorted(
+                others, key=lambda v: spectral.delta_size(anchor, v))
+            exact_order = sorted(
+                others, key=lambda v: exact.delta_size(anchor, v))
+            # Rank agreement with the exact matrix (Spearman footrule:
+            # total rank displacement small relative to worst case).
+            displacement = sum(
+                abs(estimated_order.index(v) - exact_order.index(v))
+                for v in others)
+            assert displacement <= len(others)
+
+    def test_optimal_layout_from_sketch_is_near_optimal(self):
+        """Planning on the sketch matrix must land near the true optimum
+        when evaluated with true costs — the use case of Section IV-A."""
+        rng = np.random.default_rng(11)
+        current = rng.normal(0, 100, (64, 64))
+        contents = {}
+        for version in range(1, 9):
+            contents[version] = np.round(current).astype(np.int32)
+            current = current + rng.normal(0, 2, (64, 64))
+        exact = MaterializationMatrix.build(contents)
+        sketch = SpectralEstimator().build(contents)
+        true_best = optimal_layout(exact).total_size(exact)
+        sketch_layout = optimal_layout(sketch)
+        achieved = sketch_layout.total_size(exact)
+        assert achieved <= true_best * 1.25

@@ -1,0 +1,75 @@
+"""Property tests: AQL rendering and parsing are inverse operations."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schema import ArraySchema, Attribute, Dimension
+from repro.query import parse
+from repro.query.aql import CreateArrayStatement
+
+_NAMES = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,10}", fullmatch=True)
+_TYPES = st.sampled_from(["INTEGER", "DOUBLE", "FLOAT", "INT64",
+                          "UINT8", "INT16"])
+
+
+@st.composite
+def schemas(draw):
+    dim_count = draw(st.integers(1, 4))
+    attr_count = draw(st.integers(1, 3))
+    names = draw(st.lists(_NAMES, min_size=dim_count + attr_count,
+                          max_size=dim_count + attr_count,
+                          unique_by=lambda n: n.lower()))
+    dims = []
+    for index in range(dim_count):
+        lo = draw(st.integers(-100, 100))
+        hi = lo + draw(st.integers(0, 500))
+        dims.append(Dimension(names[index], lo, hi))
+    from repro.core.schema import dtype_for_aql_type
+
+    attrs = [
+        Attribute(names[dim_count + index],
+                  dtype_for_aql_type(draw(_TYPES)))
+        for index in range(attr_count)
+    ]
+    return ArraySchema(dimensions=tuple(dims), attributes=tuple(attrs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=_NAMES, schema=schemas())
+def test_create_statement_roundtrip(name, schema):
+    """Render a schema to AQL, parse it back: identical schema."""
+    statement = f"CREATE UPDATABLE ARRAY {name} {schema.to_aql()};"
+    parsed = parse(statement)
+    assert isinstance(parsed, CreateArrayStatement)
+    assert parsed.name == name
+    assert parsed.schema == schema
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=_NAMES, version=st.integers(1, 10 ** 6))
+def test_select_by_id_roundtrip(name, version):
+    parsed = parse(f"SELECT * FROM {name}@{version};")
+    assert parsed.spec.array == name
+    assert parsed.spec.version == version
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=_NAMES, label=_NAMES)
+def test_select_by_label_roundtrip(name, label):
+    parsed = parse(f"SELECT * FROM {name}@{label};")
+    assert parsed.spec.array == name
+    assert parsed.spec.label == label
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=_NAMES,
+       pairs=st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)),
+                      min_size=1, max_size=4))
+def test_subsample_roundtrip(name, pairs):
+    flat = ", ".join(f"{min(a, b)}, {max(a, b)}" for a, b in pairs)
+    parsed = parse(f"SELECT * FROM SUBSAMPLE({name}@*, {flat});")
+    assert parsed.spec.all_versions
+    assert len(parsed.subsample) == 2 * len(pairs)

@@ -1,0 +1,85 @@
+"""Tests for version labels — Appendix A's "under development" feature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import VersionNotFoundError
+from repro.query import Database
+
+
+@pytest.fixture
+def db(tmp_path) -> Database:
+    db = Database(tmp_path / "db", chunk_bytes=4096)
+    db.execute("CREATE UPDATABLE ARRAY Example "
+               "( A::INTEGER ) [ I=0:2, J=0:2 ];")
+    base = np.arange(9, dtype=np.int32).reshape(3, 3)
+    for multiplier in (1, 2, 3):
+        db.insert("Example", base * multiplier)
+    return db
+
+
+class TestManagerLabels:
+    def test_set_and_resolve(self, db):
+        db.manager.label_version("Example", 2, "calibrated")
+        assert db.manager.version_for_label("Example", "calibrated") == 2
+
+    def test_label_moves_on_reassign(self, db):
+        db.manager.label_version("Example", 1, "best")
+        db.manager.label_version("Example", 3, "best")
+        assert db.manager.version_for_label("Example", "best") == 3
+
+    def test_multiple_labels_one_version(self, db):
+        db.manager.label_version("Example", 2, "calibrated")
+        db.manager.label_version("Example", 2, "release")
+        assert db.manager.labels("Example") == [("calibrated", 2),
+                                                ("release", 2)]
+
+    def test_unknown_label(self, db):
+        with pytest.raises(VersionNotFoundError):
+            db.manager.version_for_label("Example", "ghost")
+
+    def test_label_requires_existing_version(self, db):
+        with pytest.raises(VersionNotFoundError):
+            db.manager.label_version("Example", 99, "nope")
+
+    def test_delete_version_drops_labels(self, db):
+        db.manager.label_version("Example", 2, "calibrated")
+        db.manager.delete_version("Example", 2)
+        with pytest.raises(VersionNotFoundError):
+            db.manager.version_for_label("Example", "calibrated")
+
+
+class TestAQLLabels:
+    def test_label_statement_and_select(self, db):
+        db.execute("LABEL(Example@2 calibrated);")
+        out = db.execute("SELECT * FROM Example@calibrated;").value
+        expected = 2 * np.arange(9, dtype=np.int32).reshape(3, 3)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_label_via_date_spec_chain(self, db):
+        # Labels compose with the other select machinery (SUBSAMPLE).
+        db.execute("LABEL(Example@3 final);")
+        window = db.execute(
+            "SELECT * FROM SUBSAMPLE(Example@final, 0, 1, 0, 1);").value
+        expected = (3 * np.arange(9, dtype=np.int32).reshape(3, 3))[0:2,
+                                                                    0:2]
+        np.testing.assert_array_equal(window, expected)
+
+    def test_branch_from_label(self, db):
+        db.execute("LABEL(Example@1 raw);")
+        db.execute("BRANCH(Example@raw Rework);")
+        out = db.execute("SELECT * FROM Rework@1;").value
+        np.testing.assert_array_equal(
+            out, np.arange(9, dtype=np.int32).reshape(3, 3))
+
+    def test_select_unknown_label(self, db):
+        with pytest.raises(VersionNotFoundError):
+            db.execute("SELECT * FROM Example@ghost;")
+
+    def test_facade_spec_string(self, db):
+        db.manager.label_version("Example", 3, "final")
+        out = db.select("Example@final")
+        np.testing.assert_array_equal(
+            out, 3 * np.arange(9, dtype=np.int32).reshape(3, 3))

@@ -1,0 +1,117 @@
+"""Tests for the query processor's select primitives (Section II-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AQLExecutionError, VersionNotFoundError
+from repro.core.schema import ArraySchema
+from repro.query.processor import QueryProcessor, VersionSpec, parse_date
+from repro.storage import VersionedStorageManager
+
+
+@pytest.fixture
+def loaded(tmp_path, rng):
+    manager = VersionedStorageManager(tmp_path, chunk_bytes=4096)
+    manager.create_array("A", ArraySchema.simple((6, 6), dtype=np.int32))
+    versions = []
+    for v in range(3):
+        data = rng.integers(0, 100, (6, 6)).astype(np.int32)
+        versions.append(data)
+        manager.insert("A", data, timestamp=float(1000 + v))
+    return QueryProcessor(manager), versions
+
+
+class TestVersionSpec:
+    def test_exactly_one_selector(self):
+        with pytest.raises(AQLExecutionError):
+            VersionSpec(array="A")
+        with pytest.raises(AQLExecutionError):
+            VersionSpec(array="A", version=1, all_versions=True)
+
+    def test_valid_specs(self):
+        assert VersionSpec(array="A", version=2).version == 2
+        assert VersionSpec(array="A", all_versions=True).all_versions
+        assert VersionSpec(array="A", date="1-1-2020").date == "1-1-2020"
+
+
+class TestParseDate:
+    def test_paper_format(self):
+        stamp = parse_date("1-5-2011")
+        # End-of-day semantics: later than any same-day insert.
+        assert stamp > parse_date("1-5-2011 12:00")
+
+    def test_with_time(self):
+        assert parse_date("1-5-2011 10:30") < parse_date("1-5-2011 10:31")
+        assert parse_date("1-5-2011 10:30:05") > \
+            parse_date("1-5-2011 10:30")
+
+    def test_invalid(self):
+        with pytest.raises(AQLExecutionError):
+            parse_date("2011/01/05")
+
+
+class TestResolve:
+    def test_by_id(self, loaded):
+        processor, _ = loaded
+        assert processor.resolve(VersionSpec(array="A", version=2)) == [2]
+
+    def test_all(self, loaded):
+        processor, _ = loaded
+        spec = VersionSpec(array="A", all_versions=True)
+        assert processor.resolve(spec) == [1, 2, 3]
+
+    def test_empty_array(self, loaded, tmp_path):
+        processor, _ = loaded
+        processor.manager.create_array(
+            "Empty", ArraySchema.simple((2, 2), dtype=np.int32))
+        with pytest.raises(VersionNotFoundError):
+            processor.resolve(VersionSpec(array="Empty",
+                                          all_versions=True))
+
+
+class TestSelectForms:
+    def test_form1(self, loaded):
+        processor, versions = loaded
+        out = processor.select_version("A", 2)
+        np.testing.assert_array_equal(out.single(), versions[1])
+
+    def test_form2(self, loaded):
+        processor, versions = loaded
+        out = processor.select_window("A", 3, (1, 1), (4, 4))
+        np.testing.assert_array_equal(out.single(), versions[2][1:5, 1:5])
+
+    def test_form3(self, loaded):
+        processor, versions = loaded
+        out = processor.select_stack("A", [3, 1])  # ordered as given
+        assert out.shape == (2, 6, 6)
+        np.testing.assert_array_equal(out[0], versions[2])
+        np.testing.assert_array_equal(out[1], versions[0])
+
+    def test_form4(self, loaded):
+        processor, versions = loaded
+        out = processor.select_stack_window("A", [1, 2], (0, 0), (2, 2))
+        assert out.shape == (2, 3, 3)
+        np.testing.assert_array_equal(out[1], versions[1][0:3, 0:3])
+
+
+class TestSpecDrivenSelect:
+    def test_single_with_window(self, loaded):
+        processor, versions = loaded
+        out = processor.select(VersionSpec(array="A", version=1),
+                               window=((0, 0), (1, 1)))
+        np.testing.assert_array_equal(out, versions[0][0:2, 0:2])
+
+    def test_all_with_time_range(self, loaded):
+        processor, versions = loaded
+        out = processor.select(VersionSpec(array="A", all_versions=True),
+                               time_range=(1, 2))
+        assert out.shape == (2, 6, 6)
+        np.testing.assert_array_equal(out[0], versions[1])
+
+    def test_time_range_validation(self, loaded):
+        processor, _ = loaded
+        with pytest.raises(AQLExecutionError):
+            processor.select(VersionSpec(array="A", all_versions=True),
+                             time_range=(0, 9))

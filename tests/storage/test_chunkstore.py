@@ -1,0 +1,123 @@
+"""Tests for the chunk store and both delta placements (Section III-B.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.chunkstore import (
+    COLOCATED,
+    PER_VERSION,
+    ChunkLocation,
+    ChunkStore,
+)
+from repro.storage.iostats import IOStats
+
+
+@pytest.fixture(params=[PER_VERSION, COLOCATED])
+def store(request, tmp_path) -> ChunkStore:
+    return ChunkStore(tmp_path, placement=request.param)
+
+
+class TestWriteRead:
+    def test_roundtrip(self, store):
+        location = store.write_chunk("A", 1, "value", "chunk-0-0-9-9.dat",
+                                     b"payload-bytes")
+        assert store.read_chunk(location) == b"payload-bytes"
+
+    def test_multiple_versions_same_chunk(self, store):
+        loc1 = store.write_chunk("A", 1, "value", "chunk-0-0-9-9.dat", b"v1")
+        loc2 = store.write_chunk("A", 2, "value", "chunk-0-0-9-9.dat",
+                                 b"version-two")
+        assert store.read_chunk(loc1) == b"v1"
+        assert store.read_chunk(loc2) == b"version-two"
+
+    def test_missing_file_raises(self, store):
+        with pytest.raises(StorageError):
+            store.read_chunk(ChunkLocation("A/nowhere.dat", 0, 4))
+
+    def test_truncated_read_raises(self, store):
+        location = store.write_chunk("A", 1, "value", "c.dat", b"abc")
+        bad = ChunkLocation(location.path, location.offset, 100)
+        with pytest.raises(StorageError):
+            store.read_chunk(bad)
+
+    def test_unknown_placement_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            ChunkStore(tmp_path, placement="scattered")
+
+
+class TestPlacementLayouts:
+    def test_per_version_one_file_per_version(self, tmp_path):
+        store = ChunkStore(tmp_path, placement=PER_VERSION)
+        store.write_chunk("A", 1, "value", "c.dat", b"v1")
+        store.write_chunk("A", 2, "value", "c.dat", b"v2")
+        files = sorted(p.relative_to(tmp_path).as_posix()
+                       for p in tmp_path.rglob("*.dat"))
+        assert files == ["A/v1/value/c.dat", "A/v2/value/c.dat"]
+
+    def test_colocated_appends_to_one_file(self, tmp_path):
+        store = ChunkStore(tmp_path, placement=COLOCATED)
+        loc1 = store.write_chunk("A", 1, "value", "c.dat", b"v1..")
+        loc2 = store.write_chunk("A", 2, "value", "c.dat", b"v2..")
+        files = list(tmp_path.rglob("*.dat"))
+        assert len(files) == 1
+        assert loc1.path == loc2.path
+        assert loc2.offset == loc1.offset + 4
+
+
+class TestMaintenance:
+    def test_delete_array_removes_files(self, store, tmp_path):
+        store.write_chunk("A", 1, "value", "c.dat", b"data")
+        store.write_chunk("B", 1, "value", "c.dat", b"keep")
+        store.delete_array("A")
+        remaining = [p for p in tmp_path.rglob("*.dat")]
+        assert len(remaining) == 1
+        assert "B" in str(remaining[0])
+
+    def test_total_bytes(self, store):
+        store.write_chunk("A", 1, "value", "c.dat", b"12345")
+        assert store.total_bytes("A") == 5
+        assert store.total_bytes("missing") == 0
+
+    def test_repack_drops_dead_payloads(self, tmp_path):
+        store = ChunkStore(tmp_path, placement=COLOCATED)
+        loc1 = store.write_chunk("A", 1, "value", "c.dat", b"live-one")
+        store.write_chunk("A", 2, "value", "c.dat", b"dead")
+        loc3 = store.write_chunk("A", 3, "value", "c.dat", b"live-two")
+        new = store.repack("A", [(loc1, "k1"), (loc3, "k3")])
+        assert store.read_chunk(new["k1"]) == b"live-one"
+        assert store.read_chunk(new["k3"]) == b"live-two"
+        assert store.total_bytes("A") == len(b"live-one") + len(b"live-two")
+
+
+class TestIOStats:
+    def test_counters(self, tmp_path):
+        stats = IOStats()
+        store = ChunkStore(tmp_path, placement=COLOCATED, stats=stats)
+        location = store.write_chunk("A", 1, "value", "c.dat", b"12345678")
+        assert stats.bytes_written == 8
+        assert stats.chunks_written == 1
+        store.read_chunk(location)
+        assert stats.bytes_read == 8
+        assert stats.chunks_read == 1
+
+    def test_measure_window(self, tmp_path):
+        stats = IOStats()
+        store = ChunkStore(tmp_path, placement=COLOCATED, stats=stats)
+        location = store.write_chunk("A", 1, "value", "c.dat", b"abcd")
+        with stats.measure() as window:
+            store.read_chunk(location)
+        assert window.bytes_read == 4
+        assert window.bytes_written == 0
+        assert stats.bytes_written == 4  # outer counters unaffected
+
+    def test_reset_and_delta(self):
+        stats = IOStats()
+        stats.record_read(10)
+        snap = stats.snapshot()
+        stats.record_read(5)
+        delta = stats.delta_since(snap)
+        assert delta.bytes_read == 5
+        stats.reset()
+        assert stats.bytes_read == 0

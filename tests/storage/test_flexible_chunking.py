@@ -1,0 +1,99 @@
+"""Tests for explicit per-dimension chunk shapes (flexible chunking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionError
+from repro.core.schema import ArraySchema
+from repro.storage import VersionedStorageManager
+from repro.storage.chunking import ChunkGrid
+
+
+class TestChunkShapeGrid:
+    def test_explicit_strides(self):
+        grid = ChunkGrid((100, 60), cell_size=8, chunk_bytes=10 ** 6,
+                         chunk_shape=(100, 10))
+        assert grid.strides == (100, 10)
+        assert grid.counts == (1, 6)
+        first = grid.chunk_at((0, 0))
+        assert first.shape == (100, 10)
+
+    def test_row_major_friendly_shape(self):
+        # Flat, wide chunks: one chunk row per array row band.
+        grid = ChunkGrid((64, 64), cell_size=4, chunk_bytes=10 ** 6,
+                         chunk_shape=(8, 64))
+        assert grid.counts == (8, 1)
+        # A full-row read touches exactly one chunk.
+        hits = grid.chunks_overlapping((3, 0), (3, 63))
+        assert len(hits) == 1
+
+    def test_uniform_stride_property_guarded(self):
+        grid = ChunkGrid((64, 64), cell_size=4, chunk_bytes=10 ** 6,
+                         chunk_shape=(8, 64))
+        with pytest.raises(DimensionError):
+            _ = grid.stride  # not uniform
+
+    def test_default_grid_still_uniform(self):
+        grid = ChunkGrid((64, 64), cell_size=4, chunk_bytes=1024)
+        assert grid.stride == 16
+
+    def test_cell_lookup_respects_strides(self):
+        grid = ChunkGrid((40, 40), cell_size=4, chunk_bytes=10 ** 6,
+                         chunk_shape=(10, 20))
+        assert grid.chunk_for_cell((9, 19)).index == (0, 0)
+        assert grid.chunk_for_cell((10, 19)).index == (1, 0)
+        assert grid.chunk_for_cell((9, 20)).index == (0, 1)
+
+    def test_coverage_exact(self):
+        grid = ChunkGrid((30, 50), cell_size=4, chunk_bytes=10 ** 6,
+                         chunk_shape=(7, 13))
+        canvas = np.zeros(grid.shape, dtype=np.int32)
+        for chunk in grid.chunks():
+            canvas[chunk.slices()] += 1
+        assert (canvas == 1).all()
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(DimensionError):
+            ChunkGrid((10, 10), 4, 1024, chunk_shape=(10,))
+        with pytest.raises(DimensionError):
+            ChunkGrid((10, 10), 4, 1024, chunk_shape=(0, 10))
+
+
+class TestManagerWithChunkShape:
+    def test_roundtrip_and_persistence(self, tmp_path, rng):
+        manager = VersionedStorageManager(tmp_path)
+        schema = ArraySchema.simple((32, 32), dtype=np.int32)
+        manager.create_array("A", schema, chunk_shape=(4, 32))
+        data = rng.integers(0, 100, (32, 32)).astype(np.int32)
+        manager.insert("A", data)
+        np.testing.assert_array_equal(manager.select("A", 1).single(),
+                                      data)
+        # The shape survives catalog round-trips (process restarts).
+        record = manager.catalog.get_array("A")
+        assert record.chunk_shape == (4, 32)
+        assert manager.grid_for(record).counts == (8, 1)
+
+    def test_row_reads_touch_one_chunk(self, tmp_path, rng):
+        manager = VersionedStorageManager(tmp_path)
+        schema = ArraySchema.simple((32, 32), dtype=np.int32)
+        manager.create_array("A", schema, chunk_shape=(4, 32))
+        manager.insert("A", rng.integers(0, 9, (32, 32)).astype(np.int32))
+        with manager.stats.measure() as window:
+            manager.select_region("A", 1, (5, 0), (5, 31))
+        assert window.chunks_read == 1
+
+    def test_branch_inherits_chunk_shape(self, tmp_path, rng):
+        manager = VersionedStorageManager(tmp_path)
+        schema = ArraySchema.simple((16, 16), dtype=np.int32)
+        manager.create_array("A", schema, chunk_shape=(16, 4))
+        manager.insert("A", rng.integers(0, 9, (16, 16)).astype(np.int32))
+        manager.branch("A", 1, "B")
+        assert manager.catalog.get_array("B").chunk_shape == (16, 4)
+
+    def test_invalid_shape_fails_at_create(self, tmp_path):
+        manager = VersionedStorageManager(tmp_path)
+        schema = ArraySchema.simple((16, 16), dtype=np.int32)
+        with pytest.raises(DimensionError):
+            manager.create_array("A", schema, chunk_shape=(16,))

@@ -1,0 +1,93 @@
+"""Tests for version lineage graphs (trees and, with Merge, DAGs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schema import ArraySchema
+from repro.storage import VersionedStorageManager
+from repro.storage.lineage import build_lineage
+
+
+@pytest.fixture
+def tree_store(tmp_path, rng):
+    manager = VersionedStorageManager(tmp_path, chunk_bytes=4096)
+    manager.create_array("raw", ArraySchema.simple((8, 8),
+                                                   dtype=np.int32))
+    data = rng.integers(0, 99, (8, 8)).astype(np.int32)
+    manager.insert("raw", data)
+    manager.insert("raw", data + 1)
+    manager.branch("raw", 1, "cookedA")
+    manager.insert("cookedA", data * 2)
+    manager.branch("raw", 2, "cookedB")
+    return manager
+
+
+class TestLineageTree:
+    def test_nodes_and_edges(self, tree_store):
+        graph = build_lineage(tree_store)
+        labels = {node.label for node in graph.nodes}
+        assert labels == {"raw@1", "raw@2", "cookedA@1", "cookedA@2",
+                          "cookedB@1"}
+        kinds = {(e.parent.label, e.child.label, e.kind)
+                 for e in graph.edges}
+        assert ("raw@1", "raw@2", "insert") in kinds
+        assert ("raw@1", "cookedA@1", "branch") in kinds
+        assert ("raw@2", "cookedB@1", "branch") in kinds
+        assert ("cookedA@1", "cookedA@2", "insert") in kinds
+
+    def test_roots(self, tree_store):
+        graph = build_lineage(tree_store)
+        assert [node.label for node in graph.roots()] == ["raw@1"]
+
+    def test_navigation(self, tree_store):
+        graph = build_lineage(tree_store)
+        children = {n.label for n in graph.children_of("raw", 1)}
+        assert children == {"raw@2", "cookedA@1"}
+        parents = {n.label for n in graph.parents_of("cookedB", 1)}
+        assert parents == {"raw@2"}
+
+    def test_is_tree_without_merges(self, tree_store):
+        assert build_lineage(tree_store).is_tree()
+
+    def test_unknown_node(self, tree_store):
+        graph = build_lineage(tree_store)
+        with pytest.raises(KeyError):
+            graph.node("ghost", 1)
+
+
+class TestLineageWithMerge:
+    def test_merge_makes_dag(self, tree_store):
+        tree_store.merge([("raw", 2), ("cookedA", 2)], "combined")
+        graph = build_lineage(tree_store)
+        # "The existence of merge allows the version hierarchy to be a
+        # graph and not strictly a tree."
+        assert not graph.is_tree()
+        parents = {n.label for n in graph.parents_of("combined", 1)}
+        assert "raw@2" in parents
+
+    def test_merge_edges_kind(self, tree_store):
+        tree_store.merge([("raw", 2), ("cookedA", 2)], "combined")
+        graph = build_lineage(tree_store)
+        merge_edges = [e for e in graph.edges if e.kind == "merge"]
+        assert {(e.parent.label, e.child.label) for e in merge_edges} == \
+            {("raw@2", "combined@1"), ("cookedA@2", "combined@2")}
+
+
+class TestRendering:
+    def test_dot_output(self, tree_store):
+        dot = build_lineage(tree_store).to_dot()
+        assert dot.startswith("digraph versions {")
+        assert '"raw@1" -> "raw@2"' in dot
+        assert "style=dashed" in dot  # branch edges
+        assert dot.endswith("}")
+
+    def test_text_output(self, tree_store):
+        text = build_lineage(tree_store).to_text()
+        lines = text.splitlines()
+        assert lines[0] == "raw@1"
+        assert any(line.strip().startswith("cookedA@1") for line in lines)
+        # Children are indented under their parents.
+        raw2 = next(line for line in lines if "raw@2" in line)
+        assert raw2.startswith("  ")

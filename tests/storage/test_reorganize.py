@@ -1,0 +1,72 @@
+"""Tests for one-call background re-organization (Section IV-E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.schema import ArraySchema
+from repro.datasets import periodic_series
+from repro.materialize import SnapshotQuery, WeightedQuery
+from repro.storage import VersionedStorageManager
+
+
+@pytest.fixture
+def periodic_store(tmp_path):
+    manager = VersionedStorageManager(tmp_path, chunk_bytes=64 * 1024,
+                                      compressor="lz",
+                                      delta_codec="hybrid+lz")
+    series = periodic_series(9, distinct=3, shape=(32, 32))
+    manager.create_array("P", ArraySchema.simple((32, 32),
+                                                 dtype=np.int32))
+    for frame in series:
+        manager.insert("P", frame)
+    return manager, series
+
+
+class TestReorganize:
+    def test_space_mode_shrinks_periodic_data(self, periodic_store):
+        manager, series = periodic_store
+        before = manager.store.total_bytes("P")
+        manager.reorganize("P", mode="space")
+        after = manager.store.total_bytes("P")
+        assert after < before / 2  # recurrences become near-zero deltas
+        for number, expected in enumerate(series, 1):
+            np.testing.assert_array_equal(
+                manager.select("P", number).single(), expected)
+
+    def test_head_mode_materializes_newest(self, periodic_store):
+        manager, _ = periodic_store
+        manager.reorganize("P", mode="head")
+        array_id = manager.catalog.get_array("P").array_id
+        newest = manager.catalog.chunks_for_version(array_id, 9)
+        assert all(not chunk.is_delta for chunk in newest)
+
+    def test_workload_mode(self, periodic_store):
+        manager, series = periodic_store
+        workload = [WeightedQuery(SnapshotQuery(5), weight=10.0)]
+        manager.reorganize("P", mode="workload", workload=workload)
+        # The hammered version must be cheap: at most a short chain.
+        array_id = manager.catalog.get_array("P").array_id
+        chunks = manager.catalog.chunks_for_version(array_id, 5)
+        assert all(not chunk.is_delta for chunk in chunks)
+        np.testing.assert_array_equal(
+            manager.select("P", 5).single(), series[4])
+
+    def test_workload_mode_requires_workload(self, periodic_store):
+        manager, _ = periodic_store
+        with pytest.raises(StorageError):
+            manager.reorganize("P", mode="workload")
+
+    def test_unknown_mode(self, periodic_store):
+        manager, _ = periodic_store
+        with pytest.raises(StorageError):
+            manager.reorganize("P", mode="maximal")
+
+    def test_sampled_matrix_mode(self, periodic_store):
+        manager, series = periodic_store
+        manager.reorganize("P", mode="space", sample_fraction=0.2)
+        for number, expected in enumerate(series, 1):
+            np.testing.assert_array_equal(
+                manager.select("P", number).single(), expected)

@@ -1,0 +1,76 @@
+"""Tests for the store-inspection CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.query.engine import Database
+
+
+@pytest.fixture
+def store(tmp_path):
+    root = tmp_path / "store"
+    db = Database(root, chunk_bytes=2048)
+    db.execute("CREATE UPDATABLE ARRAY Example "
+               "( A::INTEGER ) [ I=0:7, J=0:7 ];")
+    base = np.arange(64, dtype=np.int32).reshape(8, 8)
+    db.insert("Example", base)
+    db.insert("Example", base + 1)
+    db.branch("Example", 1, "Fork")
+    db.close()
+    return root
+
+
+class TestCLI:
+    def test_list(self, store, capsys):
+        assert main([str(store), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Example" in out
+        assert "Fork" in out
+
+    def test_info(self, store, capsys):
+        assert main([str(store), "info", "Example"]) == 0
+        out = capsys.readouterr().out
+        assert "A::INTEGER" in out
+        assert "versions:    2" in out
+
+    def test_info_branch_parentage(self, store, capsys):
+        main([str(store), "info", "Fork"])
+        out = capsys.readouterr().out
+        assert "from Example@1" in out
+
+    def test_versions(self, store, capsys):
+        assert main([str(store), "versions", "Example"]) == 0
+        out = capsys.readouterr().out
+        assert "v1" in out
+        assert "v2" in out
+        assert "parent=v1" in out
+
+    def test_chunks(self, store, capsys):
+        assert main([str(store), "chunks", "Example", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chunk-" in out
+        assert "delta[" in out or "materialized[" in out
+
+    def test_layout_tree(self, store, capsys):
+        assert main([str(store), "layout", "Example"]) == 0
+        out = capsys.readouterr().out
+        assert "M v1" in out   # materialized root
+        assert "Δ v2" in out   # delta child
+
+    def test_sql(self, store, capsys):
+        assert main([str(store), "sql", "VERSIONS(Example);"]) == 0
+        out = capsys.readouterr().out
+        assert "Example@1" in out
+
+    def test_unknown_array_fails(self, store):
+        from repro.core.errors import ArrayNotFoundError
+
+        with pytest.raises(ArrayNotFoundError):
+            main([str(store), "info", "Ghost"])
+
+    def test_requires_command(self, store):
+        with pytest.raises(SystemExit):
+            main([str(store)])

@@ -1,0 +1,31 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script), str(tmp_path)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, \
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_example_inventory():
+    """The README promises at least these walk-throughs."""
+    names = {path.stem for path in EXAMPLES}
+    for expected in ("quickstart", "weather_versions",
+                     "astronomy_branching", "sparse_conceptnet",
+                     "optimizer_tour", "distributed_cluster"):
+        assert expected in names
