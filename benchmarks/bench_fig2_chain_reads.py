@@ -4,13 +4,22 @@ from repro.bench import fig2
 
 
 def bench_fig2_chain_reads(run_once):
-    rows = run_once(fig2.run)
+    rows = run_once(fig2.run, backends=("local", "memory"))
 
-    # The figure's exact scenario: chain depth 3, 2 chunks in the
-    # region, 6 chunks read.
-    depth3 = next(row for row in rows if row["chain_depth"] == 3)
-    assert depth3["chunks_read"] == 6
-    # Read amplification is linear in chain depth.
-    for row in rows:
-        assert row["chunks_read"] == \
-            row["chain_depth"] * row["chunks_overlapping_query"]
+    for backend in ("local", "memory"):
+        backend_rows = [row for row in rows if row["backend"] == backend]
+
+        # The figure's exact scenario: chain depth 3, 2 chunks in the
+        # region, 6 chunks read.
+        depth3 = next(row for row in backend_rows
+                      if row["chain_depth"] == 3)
+        assert depth3["chunks_read"] == 6
+        for row in backend_rows:
+            # Read amplification is linear in chain depth ...
+            assert row["chunks_read"] == \
+                row["chain_depth"] * row["chunks_overlapping_query"]
+            # ... but the batched chain read opens each co-located chunk
+            # object once, so file opens stay constant in chain depth.
+            assert row["file_opens"] == row["chunks_overlapping_query"]
+            if row["chain_depth"] > 1:
+                assert row["file_opens"] < row["chunks_read"]

@@ -7,7 +7,13 @@ two chunks must read six chunks: the two overlapping chunks in each of
 the three versions.
 
 The experiment also sweeps the chain depth to show the linear read
-amplification that motivates the materialization algorithms.
+amplification that motivates the materialization algorithms, and
+reports *file opens* next to *chunks read*: with co-located placement
+the whole chain of one chunk lives in one object, so the batched chain
+read opens as many objects as the region overlaps chunks — constant in
+chain depth — while payload reads grow linearly.  The optional backend
+axis (``backends=("local", "memory")``) runs the same sweep against
+the in-memory backend for a disk-free baseline.
 """
 
 from __future__ import annotations
@@ -17,21 +23,22 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bench.harness import print_table
+from repro.bench.harness import backend_axis, print_table
 from repro.core.schema import ArraySchema
 from repro.storage import VersionedStorageManager
 
 ARRAY = "fig2"
 
 
-def _build(root: Path, versions: int, rng: np.random.Generator
-           ) -> VersionedStorageManager:
+def _build(root: Path, versions: int, rng: np.random.Generator,
+           backend: str = "local") -> VersionedStorageManager:
     # 20x20 int64 cells with 800-byte chunks -> stride 10 -> 2x2 grid,
     # exactly the figure's four chunks.
     manager = VersionedStorageManager(root, chunk_bytes=800,
                                       compressor="none",
                                       delta_codec="hybrid",
-                                      delta_policy="chain")
+                                      delta_policy="chain",
+                                      backend=backend)
     manager.create_array(ARRAY, ArraySchema.simple((20, 20),
                                                    dtype=np.int64))
     data = rng.integers(0, 1000, (20, 20)).astype(np.int64)
@@ -42,35 +49,42 @@ def _build(root: Path, versions: int, rng: np.random.Generator
     return manager
 
 
-def run(max_chain: int = 6, *, workdir: str | None = None,
+def run(max_chain: int = 6, *, backends=None,
+        workdir: str | None = None,
         quiet: bool = False) -> list[dict]:
     """Measure chunks read for the Figure 2 query at several depths."""
-    rng = np.random.default_rng(2012)
     rows = []
     with tempfile.TemporaryDirectory(dir=workdir) as scratch:
-        for depth in range(1, max_chain + 1):
-            manager = _build(Path(scratch) / f"d{depth}", depth, rng)
-            with manager.stats.measure() as window:
-                # The figure's region: the top half, overlapping the two
-                # upper chunks.
-                manager.select_region(ARRAY, depth, (0, 0), (9, 19))
-            rows.append({
-                "chain_depth": depth,
-                "chunks_overlapping_query": 2,
-                "chunks_read": window.chunks_read,
-            })
-            manager.catalog.close()
+        for backend in backend_axis(backends):
+            rng = np.random.default_rng(2012)
+            for depth in range(1, max_chain + 1):
+                manager = _build(Path(scratch) / backend / f"d{depth}",
+                                 depth, rng, backend=backend)
+                with manager.stats.measure() as window:
+                    # The figure's region: the top half, overlapping the
+                    # two upper chunks.
+                    manager.select_region(ARRAY, depth, (0, 0), (9, 19))
+                rows.append({
+                    "backend": backend,
+                    "chain_depth": depth,
+                    "chunks_overlapping_query": 2,
+                    "chunks_read": window.chunks_read,
+                    "file_opens": window.file_opens,
+                })
+                manager.close()
 
     if not quiet:
         print_table(
             "Figure 2: chunk reads for a 2-chunk region query vs chain "
             "depth (depth 3 = the paper's 6-chunk diagram)",
-            ["Chain Depth", "Chunks In Region", "Chunks Read"],
-            [[str(row["chain_depth"]),
+            ["Backend", "Chain Depth", "Chunks In Region", "Chunks Read",
+             "File Opens"],
+            [[row["backend"], str(row["chain_depth"]),
               str(row["chunks_overlapping_query"]),
-              str(row["chunks_read"])] for row in rows])
+              str(row["chunks_read"]),
+              str(row["file_opens"])] for row in rows])
     return rows
 
 
 if __name__ == "__main__":  # pragma: no cover
-    run()
+    run(backends=("local", "memory"))

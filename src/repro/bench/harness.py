@@ -12,6 +12,20 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
+def backend_axis(backends=None) -> tuple[str, ...]:
+    """Normalize an experiment's ``backends`` argument.
+
+    None means the paper's default (local files only); a string names a
+    single backend; any iterable is swept in order.  Experiments that
+    accept a backend axis report one row group per backend, so the same
+    table compares disk against memory.
+    """
+    if backends is None:
+        return ("local",)
+    if isinstance(backends, str):
+        return (backends,)
+    return tuple(backends)
+
 
 def fmt_bytes(count: float) -> str:
     """Human-readable byte count (``1.53 GB`` style, as in the tables)."""

@@ -23,6 +23,7 @@ import sys
 
 from repro.bench.harness import fmt_bytes
 from repro.query.engine import Database
+from repro.storage.backend import BACKEND_NAMES
 
 
 def _cmd_list(db: Database, _args) -> int:
@@ -115,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.cli",
         description="Inspect a versioned array store.")
     parser.add_argument("root", help="store root directory")
+    parser.add_argument("--backend", choices=BACKEND_NAMES,
+                        default="local",
+                        help="storage backend for chunk payloads"
+                             " (default: local files; 'memory' starts"
+                             " an empty ephemeral store)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list").set_defaults(func=_cmd_list)
@@ -144,11 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    db = Database(args.root)
-    try:
+    with Database(args.root, backend=args.backend) as db:
         return args.func(db, args)
-    finally:
-        db.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,23 +25,36 @@ from repro.cluster.partitioning import RangePartitioner
 from repro.core.array import ArrayData, Payload
 from repro.core.errors import StorageError
 from repro.core.schema import ArraySchema, Attribute, Dimension
+from repro.storage.backend import StorageBackend
 from repro.storage.iostats import IOStats
 from repro.storage.manager import VersionedStorageManager
 
 
 class ClusterCoordinator:
-    """Fans array operations out to per-node storage managers."""
+    """Fans array operations out to per-node storage managers.
+
+    ``backend`` selects the byte substrate of every node: a registry
+    name (``"local"``, ``"memory"``) or a factory called with each
+    node's root, so every node gets its *own* backend instance — an
+    all-in-memory cluster (``backend="memory"``) simulates multi-node
+    behaviour with zero disk I/O.  A ready backend instance is rejected
+    because the nodes must not share state.
+    """
 
     def __init__(self, root: str | Path, nodes: int = 4, *,
-                 partition_axis: int = 0, **manager_kwargs):
+                 partition_axis: int = 0, backend=None, **manager_kwargs):
         if nodes < 1:
             raise StorageError("a cluster needs at least one node")
+        if isinstance(backend, StorageBackend):
+            raise StorageError(
+                "a cluster needs one backend per node; pass a backend"
+                " name or factory, not a shared instance")
         self.root = Path(root)
         self.nodes = nodes
         self.partition_axis = partition_axis
         self.managers = [
             VersionedStorageManager(self.root / f"node{index}",
-                                    **manager_kwargs)
+                                    backend=backend, **manager_kwargs)
             for index in range(nodes)
         ]
         self._partitioners: dict[str, RangePartitioner] = {}
@@ -174,7 +187,7 @@ class ClusterCoordinator:
 
     def close(self) -> None:
         for manager in self.managers:
-            manager.catalog.close()
+            manager.close()
 
     # ------------------------------------------------------------------
     def _partitioner(self, name: str) -> RangePartitioner:

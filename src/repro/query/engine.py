@@ -32,14 +32,20 @@ class Database:
                  compressor: str = "none",
                  delta_codec: str = "hybrid",
                  delta_policy: str = "chain",
-                 placement: str = "colocated"):
+                 placement: str = "colocated",
+                 backend: str | None = None,
+                 cache_chunks: int = 0,
+                 cache_bytes: int = 0):
         self.manager = VersionedStorageManager(
             root,
             chunk_bytes=chunk_bytes,
             compressor=compressor,
             delta_codec=delta_codec,
             delta_policy=delta_policy,
-            placement=placement)
+            placement=placement,
+            backend=backend,
+            cache_chunks=cache_chunks,
+            cache_bytes=cache_bytes)
         self.processor = QueryProcessor(self.manager)
         self.executor = AQLExecutor(self.manager, base_path=Path(root))
 
@@ -76,8 +82,26 @@ class Database:
     def properties(self, name: str) -> dict:
         return self.manager.properties(name)
 
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """The store's I/O counters (bytes, chunks, file opens)."""
+        return self.manager.stats
+
+    def cache_info(self) -> dict:
+        """Chunk-cache budgets, occupancy, and hit/miss counters."""
+        return self.manager.cache_info()
+
     def close(self) -> None:
-        self.manager.catalog.close()
+        self.manager.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def spec_from_string(text: str) -> VersionSpec:

@@ -1,5 +1,19 @@
-"""Chunked, no-overwrite versioned storage (Section II / III-B)."""
+"""Chunked, no-overwrite versioned storage (Section II / III-B).
 
+Layering (bottom up): :mod:`~repro.storage.backend` holds bytes,
+:mod:`~repro.storage.chunkstore` places chunks over a backend,
+:mod:`~repro.storage.pipeline` encodes/decodes versions through the
+store, and :mod:`~repro.storage.manager` orchestrates catalog +
+pipelines into the paper's versioned-array semantics.
+"""
+
+from repro.storage.backend import (
+    BACKEND_NAMES,
+    InMemoryBackend,
+    LocalFileBackend,
+    StorageBackend,
+    resolve_backend,
+)
 from repro.storage.chunking import (
     DEFAULT_CHUNK_BYTES,
     ChunkGrid,
@@ -13,35 +27,46 @@ from repro.storage.chunkstore import (
     ChunkStore,
 )
 from repro.storage.iostats import IOStats
-from repro.storage.manager import (
-    POLICY_AUTO,
-    POLICY_CHAIN,
-    POLICY_MATERIALIZE,
-    VersionedStorageManager,
-)
+from repro.storage.manager import VersionedStorageManager
 from repro.storage.metadata import (
     ArrayRecord,
     ChunkRecord,
     MetadataCatalog,
     VersionRecord,
 )
+from repro.storage.pipeline import (
+    POLICY_AUTO,
+    POLICY_CHAIN,
+    POLICY_MATERIALIZE,
+    ChunkCache,
+    DecodePipeline,
+    EncodePipeline,
+)
 
 __all__ = [
     "ArrayRecord",
+    "BACKEND_NAMES",
     "COLOCATED",
+    "ChunkCache",
     "ChunkGrid",
     "ChunkLocation",
     "ChunkRecord",
     "ChunkRef",
     "ChunkStore",
     "DEFAULT_CHUNK_BYTES",
+    "DecodePipeline",
+    "EncodePipeline",
     "IOStats",
+    "InMemoryBackend",
+    "LocalFileBackend",
     "MetadataCatalog",
     "PER_VERSION",
     "POLICY_AUTO",
     "POLICY_CHAIN",
     "POLICY_MATERIALIZE",
+    "StorageBackend",
     "VersionRecord",
     "VersionedStorageManager",
+    "resolve_backend",
     "stride_for",
 ]

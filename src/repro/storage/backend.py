@@ -1,0 +1,235 @@
+"""Pluggable byte-storage backends for the versioned store.
+
+The paper's prototype (Section II) is a single-node, local-disk system;
+everything above this module — chunk placement, delta encoding,
+compression, the metadata catalog — is byte-oriented and does not care
+*where* the bytes live.  :class:`StorageBackend` is that seam: a small
+keyed byte-container contract (write / append / read / read_many /
+delete) that lets new substrates (memory, sharded stores, eventually
+object storage) drop in without touching encoding semantics.
+
+Two implementations ship today:
+
+* :class:`LocalFileBackend` — the paper's local filesystem, one object
+  per file under a root directory;
+* :class:`InMemoryBackend` — a zero-I/O dict-of-buffers backend for
+  tests, benchmarks, and all-in-memory cluster simulation.
+
+``read_many`` is the performance-critical addition: a co-located delta
+chain lives at many ``(offset, length)`` spans of *one* object, and the
+batched read resolves the whole chain with a single open + seek pass
+instead of one ``open()`` per payload.
+
+Paths are backend-relative strings with ``/`` separators (the same
+strings the metadata catalog records in chunk locations), so a store
+written by one backend can be described identically by another.
+"""
+
+from __future__ import annotations
+
+import shutil
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from pathlib import Path
+
+from repro.core.errors import StorageError
+
+#: Names accepted by :func:`resolve_backend` (and the CLI / bench axis).
+BACKEND_NAMES = ("local", "memory")
+
+#: A backend spec: a registry name, a ready instance, or a factory
+#: called with the store root (so multi-node deployments can build one
+#: backend per node).
+BackendSpec = "str | StorageBackend | Callable[[Path], StorageBackend] | None"
+
+
+class StorageBackend(ABC):
+    """Abstract keyed byte container beneath the chunk store.
+
+    Implementations must satisfy the shared conformance suite
+    (``tests/storage/test_backends.py``): reads of missing objects or
+    short spans raise :class:`~repro.core.errors.StorageError`, ``write``
+    replaces an object wholesale, ``append`` returns the offset at which
+    the payload landed, and ``delete`` removes an object or a whole
+    prefix subtree.
+    """
+
+    #: Human-readable registry name.
+    name: str = "abstract"
+    #: True when the backend holds no durable state (nothing on disk).
+    ephemeral: bool = False
+
+    @abstractmethod
+    def write(self, path: str, payload: bytes) -> None:
+        """Create or replace the object at ``path`` with ``payload``."""
+
+    @abstractmethod
+    def append(self, path: str, payload: bytes) -> int:
+        """Append to the object at ``path``; returns the write offset."""
+
+    @abstractmethod
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        """Read exactly ``length`` bytes at ``offset`` of ``path``."""
+
+    @abstractmethod
+    def read_many(self, path: str,
+                  spans: Sequence[tuple[int, int]]) -> list[bytes]:
+        """Read several ``(offset, length)`` spans of one object.
+
+        The whole batch is served from a single open of ``path`` — this
+        is what turns a co-located delta chain into one open + seek
+        pass.  Results are returned in span order.
+        """
+
+    @abstractmethod
+    def delete(self, prefix: str) -> None:
+        """Remove the object at ``prefix`` or every object under it."""
+
+    @abstractmethod
+    def total_bytes(self, prefix: str = "") -> int:
+        """Stored bytes under ``prefix`` (the whole backend when '')."""
+
+
+class LocalFileBackend(StorageBackend):
+    """Local-filesystem backend: one object per file under ``root``."""
+
+    name = "local"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _resolve(self, path: str) -> Path:
+        return self.root / path
+
+    def write(self, path: str, payload: bytes) -> None:
+        target = self._resolve(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "wb") as handle:
+            handle.write(payload)
+
+    def append(self, path: str, payload: bytes) -> int:
+        target = self._resolve(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "ab") as handle:
+            offset = handle.tell()
+            handle.write(payload)
+        return offset
+
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        return self.read_many(path, [(offset, length)])[0]
+
+    def read_many(self, path: str,
+                  spans: Sequence[tuple[int, int]]) -> list[bytes]:
+        target = self._resolve(path)
+        try:
+            with open(target, "rb") as handle:
+                payloads = []
+                for offset, length in spans:
+                    handle.seek(offset)
+                    payload = handle.read(length)
+                    if len(payload) != length:
+                        raise StorageError(
+                            f"chunk file {target} truncated: wanted "
+                            f"{length} bytes at {offset}, got "
+                            f"{len(payload)}")
+                    payloads.append(payload)
+        except FileNotFoundError as exc:
+            raise StorageError(f"missing chunk file {target}") from exc
+        return payloads
+
+    def delete(self, prefix: str) -> None:
+        target = self._resolve(prefix)
+        if target.is_dir():
+            shutil.rmtree(target)
+        elif target.exists():
+            target.unlink()
+
+    def total_bytes(self, prefix: str = "") -> int:
+        base = self._resolve(prefix) if prefix else self.root
+        if not base.exists():
+            return 0
+        if base.is_file():
+            return base.stat().st_size
+        return sum(f.stat().st_size for f in base.rglob("*") if f.is_file())
+
+
+class InMemoryBackend(StorageBackend):
+    """Dict-of-buffers backend: zero disk I/O, per-instance state.
+
+    Used by tests, benchmark baselines ("how fast without the disk?"),
+    and cluster simulation, where every node gets its own instance.
+    """
+
+    name = "memory"
+    ephemeral = True
+
+    def __init__(self):
+        self._objects: dict[str, bytearray] = {}
+
+    def write(self, path: str, payload: bytes) -> None:
+        self._objects[path] = bytearray(payload)
+
+    def append(self, path: str, payload: bytes) -> int:
+        buffer = self._objects.setdefault(path, bytearray())
+        offset = len(buffer)
+        buffer += payload
+        return offset
+
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        return self.read_many(path, [(offset, length)])[0]
+
+    def read_many(self, path: str,
+                  spans: Sequence[tuple[int, int]]) -> list[bytes]:
+        buffer = self._objects.get(path)
+        if buffer is None:
+            raise StorageError(f"missing chunk file {path}")
+        payloads = []
+        for offset, length in spans:
+            payload = bytes(buffer[offset:offset + length])
+            if len(payload) != length:
+                raise StorageError(
+                    f"chunk file {path} truncated: wanted {length} "
+                    f"bytes at {offset}, got {len(payload)}")
+            payloads.append(payload)
+        return payloads
+
+    def delete(self, prefix: str) -> None:
+        subtree = prefix.rstrip("/") + "/"
+        stale = [key for key in self._objects
+                 if key == prefix or key.startswith(subtree)]
+        for key in stale:
+            del self._objects[key]
+
+    def total_bytes(self, prefix: str = "") -> int:
+        if not prefix:
+            return sum(len(buffer) for buffer in self._objects.values())
+        subtree = prefix.rstrip("/") + "/"
+        return sum(len(buffer) for key, buffer in self._objects.items()
+                   if key == prefix or key.startswith(subtree))
+
+
+def resolve_backend(spec, root: str | Path) -> StorageBackend:
+    """Turn a backend spec into a concrete backend instance.
+
+    ``spec`` may be None (default: local files under ``root``), one of
+    :data:`BACKEND_NAMES`, a ready :class:`StorageBackend`, or a factory
+    callable invoked with ``root`` — the factory form is what lets a
+    cluster coordinator construct one independent backend per node.
+    """
+    if spec is None or spec == "local":
+        return LocalFileBackend(root)
+    if spec == "memory":
+        return InMemoryBackend()
+    if isinstance(spec, StorageBackend):
+        return spec
+    if callable(spec):
+        backend = spec(Path(root))
+        if not isinstance(backend, StorageBackend):
+            raise StorageError(
+                f"backend factory {spec!r} returned {type(backend).__name__},"
+                " not a StorageBackend")
+        return backend
+    raise StorageError(
+        f"unknown storage backend {spec!r}; expected one of "
+        f"{BACKEND_NAMES}, a StorageBackend, or a factory callable")

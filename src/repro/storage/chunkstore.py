@@ -1,4 +1,4 @@
-"""The on-disk chunk container with both placement strategies.
+"""Chunk placement over a pluggable byte backend.
 
 Section III-B.3: "we implemented two different ways of storing the deltas
 on disk: the first method stores all the deltas belonging to a given
@@ -8,26 +8,30 @@ same chunk.  Unless stated otherwise, we consider co-located chains of
 deltas in the following, since they are more efficient."
 
 * ``per-version`` placement writes
-  ``<array>/v<version>/<attribute>/<chunk-name>`` — one file per
+  ``<array>/v<version>/<attribute>/<chunk-name>`` — one object per
   (version, chunk) pair;
 * ``colocated`` placement appends every version's payload for one chunk
   to ``<array>/chunks/<attribute>/<chunk-name>`` and addresses payloads
   by (offset, length), so a chain of deltas for one chunk is one
   sequential read.
 
-The store is a dumb byte container: delta/compression framing is the
-codecs' business, and which (offset, length) belongs to which version is
-recorded in the metadata catalog.
+The store owns *placement* (which path a payload lands at) and
+*accounting* (every byte and handle flows into :class:`IOStats`); the
+bytes themselves live in a :class:`~repro.storage.backend.StorageBackend`
+— local files by default, memory or future substrates by injection.
+Delta/compression framing is the codecs' business, and which
+(offset, length) belongs to which version is recorded in the metadata
+catalog.
 """
 
 from __future__ import annotations
 
 import os
-import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.errors import StorageError
+from repro.storage.backend import StorageBackend, resolve_backend
 from repro.storage.iostats import IOStats
 
 PER_VERSION = "per-version"
@@ -37,7 +41,7 @@ _PLACEMENTS = (PER_VERSION, COLOCATED)
 
 @dataclass(frozen=True)
 class ChunkLocation:
-    """Where one encoded chunk payload lives on disk."""
+    """Where one encoded chunk payload lives in the backend."""
 
     path: str
     offset: int
@@ -45,18 +49,24 @@ class ChunkLocation:
 
 
 class ChunkStore:
-    """File-per-chunk storage with per-version or co-located placement."""
+    """Chunk addressing with per-version or co-located placement."""
 
     def __init__(self, root: str | os.PathLike,
                  placement: str = COLOCATED,
-                 stats: IOStats | None = None):
+                 stats: IOStats | None = None,
+                 backend: "StorageBackend | str | None" = None):
         if placement not in _PLACEMENTS:
             raise StorageError(
                 f"unknown placement {placement!r}; expected {_PLACEMENTS}")
-        self.root = Path(root)
         self.placement = placement
         self.stats = stats if stats is not None else IOStats()
-        self.root.mkdir(parents=True, exist_ok=True)
+        self.backend = resolve_backend(backend, Path(root))
+
+    def _chunk_path(self, array: str, version: int, attribute: str,
+                    chunk_name: str) -> str:
+        if self.placement == PER_VERSION:
+            return f"{array}/v{version}/{attribute}/{chunk_name}"
+        return f"{array}/chunks/{attribute}/{chunk_name}"
 
     # ------------------------------------------------------------------
     # Writing
@@ -64,23 +74,15 @@ class ChunkStore:
     def write_chunk(self, array: str, version: int, attribute: str,
                     chunk_name: str, payload: bytes) -> ChunkLocation:
         """Persist one encoded chunk payload; returns its location."""
+        path = self._chunk_path(array, version, attribute, chunk_name)
         if self.placement == PER_VERSION:
-            path = (self.root / array / f"v{version}" / attribute
-                    / chunk_name)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with open(path, "wb") as handle:
-                handle.write(payload)
-            location = ChunkLocation(str(path.relative_to(self.root)),
-                                     0, len(payload))
+            self.backend.write(path, payload)
+            location = ChunkLocation(path, 0, len(payload))
         else:
-            path = self.root / array / "chunks" / attribute / chunk_name
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with open(path, "ab") as handle:
-                offset = handle.tell()
-                handle.write(payload)
-            location = ChunkLocation(str(path.relative_to(self.root)),
-                                     offset, len(payload))
+            offset = self.backend.append(path, payload)
+            location = ChunkLocation(path, offset, len(payload))
         self.stats.record_write(len(payload))
+        self.stats.record_open()
         return location
 
     # ------------------------------------------------------------------
@@ -88,44 +90,55 @@ class ChunkStore:
     # ------------------------------------------------------------------
     def read_chunk(self, location: ChunkLocation) -> bytes:
         """Read one payload back by location."""
-        path = self.root / location.path
-        try:
-            with open(path, "rb") as handle:
-                handle.seek(location.offset)
-                payload = handle.read(location.length)
-        except FileNotFoundError as exc:
-            raise StorageError(f"missing chunk file {path}") from exc
-        if len(payload) != location.length:
-            raise StorageError(
-                f"chunk file {path} truncated: wanted {location.length} "
-                f"bytes at {location.offset}, got {len(payload)}")
+        payload = self.backend.read(location.path, location.offset,
+                                    location.length)
         self.stats.record_read(len(payload))
+        self.stats.record_open()
         return payload
+
+    def read_chunks(self, locations: list[ChunkLocation]) -> list[bytes]:
+        """Read several payloads, one backend open per distinct path.
+
+        This is the chain-read fast path: a co-located delta chain's
+        payloads share one object, so the whole chain costs a single
+        open + seek pass (``file_opens`` in :class:`IOStats` counts the
+        difference).  Payloads are returned in ``locations`` order.
+        """
+        by_path: dict[str, list[int]] = {}
+        for index, location in enumerate(locations):
+            by_path.setdefault(location.path, []).append(index)
+
+        payloads: list[bytes | None] = [None] * len(locations)
+        for path, indexes in by_path.items():
+            spans = [(locations[i].offset, locations[i].length)
+                     for i in indexes]
+            self.stats.record_open()
+            for i, payload in zip(indexes,
+                                  self.backend.read_many(path, spans)):
+                self.stats.record_read(len(payload))
+                payloads[i] = payload
+        return payloads  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def delete_array(self, array: str) -> None:
-        """Remove every file belonging to one array."""
-        path = self.root / array
-        if path.exists():
-            shutil.rmtree(path)
+        """Remove every object belonging to one array."""
+        self.backend.delete(array)
 
     def delete_version_files(self, array: str, version: int) -> None:
-        """Remove a version's files (meaningful for per-version placement).
+        """Remove a version's objects (meaningful for per-version placement).
 
-        Co-located files interleave many versions, so their space is
+        Co-located objects interleave many versions, so their space is
         reclaimed by :meth:`repack` instead.
         """
         if self.placement == PER_VERSION:
-            path = self.root / array / f"v{version}"
-            if path.exists():
-                shutil.rmtree(path)
+            self.backend.delete(f"{array}/v{version}")
 
     def repack(self, array: str,
                keep: list[tuple[ChunkLocation, object]]
                ) -> dict[object, ChunkLocation]:
-        """Rewrite co-located files keeping only the listed payloads.
+        """Rewrite co-located objects keeping only the listed payloads.
 
         ``keep`` pairs each surviving location with an opaque key; the
         returned mapping gives each key's new location.  Used after
@@ -136,23 +149,20 @@ class ChunkStore:
             by_path.setdefault(location.path, []).append((location, key))
 
         new_locations: dict[object, ChunkLocation] = {}
-        for rel_path, entries in by_path.items():
-            path = self.root / rel_path
-            payloads = []
-            for location, key in entries:
-                payloads.append((key, self.read_chunk(location)))
-            with open(path, "wb") as handle:
-                for key, payload in payloads:
-                    offset = handle.tell()
-                    handle.write(payload)
-                    new_locations[key] = ChunkLocation(
-                        rel_path, offset, len(payload))
-                    self.stats.record_write(len(payload))
+        for path, entries in by_path.items():
+            survivors = self.read_chunks([location for location, _ in
+                                          entries])
+            blob = bytearray()
+            for (_, key), payload in zip(entries, survivors):
+                offset = len(blob)
+                blob += payload
+                new_locations[key] = ChunkLocation(path, offset,
+                                                   len(payload))
+                self.stats.record_write(len(payload))
+            self.backend.write(path, bytes(blob))
+            self.stats.record_open()
         return new_locations
 
     def total_bytes(self, array: str | None = None) -> int:
-        """Bytes on disk under one array (or the whole store)."""
-        base = self.root / array if array else self.root
-        if not base.exists():
-            return 0
-        return sum(f.stat().st_size for f in base.rglob("*") if f.is_file())
+        """Bytes stored under one array (or the whole store)."""
+        return self.backend.total_bytes(array or "")

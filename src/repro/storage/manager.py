@@ -6,42 +6,34 @@ array, create a new version, delete a version, and query a version —
 under a *no-overwrite* model: committed versions are immutable and every
 update creates a new version.
 
-The insert path (Figure 1, left) runs three steps per chunk:
+The manager is an orchestrator over three separable layers:
 
-1. **delta encoding** — the payload is compared against the base version
-   the policy selects and stored as a delta when that is smaller
-   ("delta-ing is performed automatically");
-2. **chunking / co-location** — the version is split along the fixed
-   chunk grid shared by all versions of the array;
-3. **compression** — materialized chunks go through the configured
-   compression codec before hitting disk, and the Version Metadata
-   records the location, base version and codecs of every chunk.
+* the **backend** (:mod:`repro.storage.backend`) holds bytes — local
+  files by default, memory or future substrates by injection;
+* the **pipelines** (:mod:`repro.storage.pipeline`) encode the insert
+  path (delta-encode → compress → place) and decode the select path
+  (locate → read chain → decompress → delta-decode → assemble), sharing
+  one bytes-bounded chunk cache;
+* the **catalog** (:mod:`repro.storage.metadata`) records version
+  lineage and per-chunk encoding decisions.
 
-The select path (Figure 1, right) inverts this: chunk selection against
-the metadata, reads of the (possibly co-located) delta chains, delta
-decoding from the nearest materialized ancestor, and assembly of the
-result array (Figure 2's six-chunk read pattern falls out of this).
+What remains here is the paper's *semantics*: version numbering and
+lineage, branches and merges, the four select forms, deletion with
+re-encoding of dependents, and layout re-organization (Section IV-E).
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
 
-from repro.compression.registry import get_codec
 from repro.core.array import ArrayData, DeltaListPayload, Payload
-from repro.core.errors import (
-    NoOverwriteError,
-    StorageError,
-    VersionNotFoundError,
-)
+from repro.core.errors import StorageError
 from repro.core.schema import ArraySchema
-from repro.delta.auto import choose_encoding
-from repro.delta.registry import get_delta_codec
+from repro.storage.backend import StorageBackend, resolve_backend
 from repro.storage.chunking import DEFAULT_CHUNK_BYTES, ChunkGrid, ChunkRef
 from repro.storage.chunkstore import COLOCATED, ChunkStore
 from repro.storage.iostats import IOStats
@@ -50,12 +42,23 @@ from repro.storage.metadata import (
     ChunkRecord,
     MetadataCatalog,
 )
+from repro.storage.pipeline import (
+    POLICY_AUTO,
+    POLICY_CHAIN,
+    POLICY_MATERIALIZE,
+    ChunkCache,
+    DecodePipeline,
+    EncodePipeline,
+    ensure_policy,
+    overlap_slices as _overlap_slices,
+)
 
-#: Insert-time delta policies.
-POLICY_AUTO = "auto"          # try the candidate codecs, keep the smallest
-POLICY_CHAIN = "chain"        # delta against the parent (fallback: smaller)
-POLICY_MATERIALIZE = "materialize"  # never delta on insert
-_POLICIES = (POLICY_AUTO, POLICY_CHAIN, POLICY_MATERIALIZE)
+__all__ = [
+    "POLICY_AUTO",
+    "POLICY_CHAIN",
+    "POLICY_MATERIALIZE",
+    "VersionedStorageManager",
+]
 
 
 class VersionedStorageManager:
@@ -68,32 +71,76 @@ class VersionedStorageManager:
                  delta_policy: str = POLICY_CHAIN,
                  placement: str = COLOCATED,
                  catalog_in_memory: bool = False,
-                 cache_chunks: int = 0):
-        if delta_policy not in _POLICIES:
-            raise StorageError(
-                f"unknown delta policy {delta_policy!r}; "
-                f"expected one of {_POLICIES}")
+                 cache_chunks: int = 0,
+                 cache_bytes: int = 0,
+                 backend: "StorageBackend | str | None" = None):
+        # Validate configuration before creating any durable state
+        # (directories, catalog files, backend objects).
+        ensure_policy(delta_policy)
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        backend = resolve_backend(backend, self.root / "data")
+        if not backend.ephemeral:
+            self.root.mkdir(parents=True, exist_ok=True)
         self.stats = IOStats()
         self.store = ChunkStore(self.root / "data", placement=placement,
-                                stats=self.stats)
-        catalog_path = None if catalog_in_memory else \
-            self.root / "metadata.db"
+                                stats=self.stats, backend=backend)
+        # An ephemeral backend keeps the catalog off disk too, so a
+        # memory-backed store performs zero file I/O end to end.
+        catalog_path = None if catalog_in_memory or backend.ephemeral \
+            else self.root / "metadata.db"
         self.catalog = MetadataCatalog(catalog_path)
         self.chunk_bytes = chunk_bytes
         self.compressor_name = compressor
         self.delta_codec_name = delta_codec
-        self.delta_policy = delta_policy
         self._tick = itertools.count(1)
-        # Optional LRU cache of decoded chunks.  The paper's cost model
-        # "ignores caching effects ... since they are often negligible
-        # in our context for very large arrays"; the cache is therefore
-        # off by default and exists for interactive workloads.
-        self.cache_capacity = cache_chunks
-        self._chunk_cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        # The paper's cost model "ignores caching effects ... since they
+        # are often negligible in our context for very large arrays";
+        # the cache is therefore off unless given an entry or byte
+        # budget, and exists for interactive workloads.
+        self.cache = ChunkCache(max_entries=cache_chunks,
+                                max_bytes=cache_bytes, stats=self.stats)
+        self.encoder = EncodePipeline(self.catalog, self.store,
+                                      delta_policy=delta_policy,
+                                      delta_codec=delta_codec,
+                                      cache=self.cache)
+        self.decoder = DecodePipeline(self.catalog, self.store,
+                                      cache=self.cache)
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The byte-storage backend beneath the chunk store."""
+        return self.store.backend
+
+    @property
+    def delta_policy(self) -> str:
+        return self.encoder.delta_policy
+
+    @property
+    def cache_capacity(self) -> int:
+        return self.cache.max_entries
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses
+
+    def cache_info(self) -> dict:
+        """Budgets, occupancy, and hit/miss counters of the chunk cache."""
+        return self.cache.info()
+
+    def close(self) -> None:
+        """Release the catalog connection and drop cached chunks."""
+        self.cache.clear()
+        self.catalog.close()
+
+    def __enter__(self) -> "VersionedStorageManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Array lifecycle
@@ -124,10 +171,9 @@ class VersionedStorageManager:
             chunk_shape=chunk_shape)
 
     def delete_array(self, name: str) -> None:
-        """Drop an array, its versions, and its files."""
+        """Drop an array, its versions, and its stored bytes."""
         record = self.catalog.get_array(name)  # existence check
-        if self.cache_capacity:
-            self._invalidate_cache(record.array_id)
+        self.cache.invalidate_array(record.array_id)
         self.catalog.delete_array(name)
         self.store.delete_array(name)
 
@@ -221,8 +267,7 @@ class VersionedStorageManager:
         """Remove one version, re-encoding any versions delta'ed on it."""
         record = self.catalog.get_array(name)
         self.catalog.get_version(record.array_id, version)
-        if self.cache_capacity:
-            self._invalidate_cache(record.array_id)
+        self.cache.invalidate_array(record.array_id)
         dependents = {chunk.version for chunk in
                       self.catalog.dependents_of(record.array_id, version)}
         deleted_parent = self.catalog.get_version(
@@ -251,15 +296,8 @@ class VersionedStorageManager:
         """Form 1: the full contents of one version."""
         record = self.catalog.get_array(name)
         self.catalog.get_version(record.array_id, version)
-        grid = self.grid_for(record)
-        attributes = {}
-        for attr in record.schema.attributes:
-            canvas = np.empty(record.schema.shape, dtype=attr.dtype)
-            for chunk in grid.chunks():
-                canvas[chunk.slices()] = self._reconstruct_chunk(
-                    record, version, attr.name, chunk)
-            attributes[attr.name] = canvas
-        return ArrayData(record.schema, attributes)
+        return self.decoder.read_version(record, self.grid_for(record),
+                                         version)
 
     def select_region(self, name: str, version: int,
                       corner_lo: tuple[int, ...],
@@ -270,21 +308,8 @@ class VersionedStorageManager:
         schema = record.schema
         lo = schema.to_zero_based(corner_lo)
         hi = schema.to_zero_based(corner_hi)
-        grid = self.grid_for(record)
-
-        region_shape = tuple(h - l + 1 for l, h in zip(lo, hi))
-        attributes = {}
-        for attr in schema.attributes:
-            canvas = np.empty(region_shape, dtype=attr.dtype)
-            for chunk in grid.chunks_overlapping(lo, hi):
-                chunk_data = self._reconstruct_chunk(
-                    record, version, attr.name, chunk)
-                src, dst = _overlap_slices(chunk, lo, hi)
-                canvas[dst] = chunk_data[src]
-            attributes[attr.name] = canvas
-        from repro.core.array import _sliced_schema
-
-        return ArrayData(_sliced_schema(schema, lo, hi), attributes)
+        return self.decoder.read_region(record, self.grid_for(record),
+                                        version, lo, hi)
 
     def select_versions(self, name: str, versions: list[int],
                         attribute: str | None = None) -> np.ndarray:
@@ -315,7 +340,7 @@ class VersionedStorageManager:
                         hi: tuple[int, ...]) -> np.ndarray:
         """Shared implementation of the stacked select forms.
 
-        Versions are resolved chunk-by-chunk with a shared chain cache,
+        Versions are resolved chunk-by-chunk with a shared chain scope,
         so a range query over a delta chain reads each payload once —
         this is what makes the paper's Table IV range selects read ~2 GB
         rather than 16 x the chain length.
@@ -328,11 +353,11 @@ class VersionedStorageManager:
         out = np.empty((len(versions),) + region_shape, dtype=dtype)
         grid = self.grid_for(record)
         for chunk in grid.chunks_overlapping(lo, hi):
-            cache: dict[int, np.ndarray] = {}
+            scope: dict[int, np.ndarray] = {}
             src, dst = _overlap_slices(chunk, lo, hi)
             for layer, version in enumerate(versions):
-                data = self._reconstruct_chunk(record, version, attr,
-                                               chunk, cache)
+                data = self.decoder.reconstruct(record, version, attr,
+                                                chunk, scope)
                 out[(layer,) + dst] = data[src]
         return out
 
@@ -485,141 +510,26 @@ class VersionedStorageManager:
     def _write_version(self, record: ArrayRecord, version: int,
                        data: ArrayData, base_version: int | None,
                        replace: bool = False) -> None:
-        """Encode and persist every chunk of one version."""
-        if self.cache_capacity:
-            self._invalidate_cache(record.array_id)
-        if not replace:
-            existing = self.catalog.chunks_for_version(record.array_id,
-                                                       version)
-            if existing:
-                raise NoOverwriteError(
-                    f"version {version} of {record.name!r} already exists")
-        grid = self.grid_for(record)
-        compressor = get_codec(record.compressor)
-
+        """Reconstruct the base (when the policy deltas) and run the
+        encode pipeline for one version."""
         base_data: ArrayData | None = None
-        if base_version is not None and \
-                self.delta_policy != POLICY_MATERIALIZE:
+        if base_version is not None and self.encoder.wants_base:
             base_data = self.select(record.name, base_version)
-
-        for attr in record.schema.attributes:
-            target_full = data.attribute(attr.name)
-            base_full = base_data.attribute(attr.name) \
-                if base_data is not None else None
-            for chunk in grid.chunks():
-                target = np.ascontiguousarray(target_full[chunk.slices()])
-                base = np.ascontiguousarray(base_full[chunk.slices()]) \
-                    if base_full is not None else None
-                decision = self._encode_chunk(target, base, compressor)
-                location = self.store.write_chunk(
-                    record.name, version, attr.name, chunk.name,
-                    decision.payload)
-                self.catalog.put_chunk(ChunkRecord(
-                    array_id=record.array_id,
-                    version=version,
-                    attribute=attr.name,
-                    chunk_name=chunk.name,
-                    delta_codec=decision.delta_codec,
-                    base_version=base_version if decision.is_delta
-                    else None,
-                    compressor=record.compressor,
-                    location=location,
-                ))
-
-    def _encode_chunk(self, target: np.ndarray, base: np.ndarray | None,
-                      compressor):
-        if self.delta_policy == POLICY_MATERIALIZE or base is None:
-            return choose_encoding(target, None, compressor=compressor)
-        if self.delta_policy == POLICY_CHAIN:
-            codec = get_delta_codec(self.delta_codec_name)
-            return choose_encoding(target, base, compressor=compressor,
-                                   candidates=(codec,))
-        return choose_encoding(target, base, compressor=compressor)
+        self.encoder.write_version(record, self.grid_for(record), version,
+                                   data, base_data=base_data,
+                                   base_version=base_version,
+                                   replace=replace)
 
     def _reconstruct_chunk(self, record: ArrayRecord, version: int,
                            attribute: str, chunk: ChunkRef,
                            cache: dict[int, np.ndarray] | None = None
                            ) -> np.ndarray:
-        """Unwind the delta chain of one chunk (Figure 2's read pattern).
-
-        ``cache`` maps already-resolved versions of this chunk to their
-        contents; chains stop as soon as they reach a cached version, so
-        multi-version queries share the work of common prefixes.
-        """
-        if cache is None:
-            cache = {}
-        if self.cache_capacity:
-            key = (record.array_id, version, attribute, chunk.name)
-            cached = self._cache_get(key)
-            if cached is not None:
-                cache[version] = cached
-                return cached
-        chain: list[ChunkRecord] = []
-        cursor: int | None = version
-        seen: set[int] = set()
-        while cursor is not None and cursor not in cache:
-            if cursor in seen:
-                raise StorageError(
-                    f"delta cycle detected for {record.name!r} "
-                    f"chunk {chunk.name} at version {cursor}")
-            seen.add(cursor)
-            chunk_record = self.catalog.get_chunk(
-                record.array_id, cursor, attribute, chunk.name)
-            chain.append(chunk_record)
-            cursor = chunk_record.base_version
-
-        if cursor is not None:
-            data = cache[cursor]
-        else:
-            root = chain.pop()
-            payload = self.store.read_chunk(root.location)
-            data = get_codec(root.compressor).decode(payload)
-            cache[root.version] = data
-        for chunk_record in reversed(chain):
-            payload = self.store.read_chunk(chunk_record.location)
-            codec = get_delta_codec(chunk_record.delta_codec)
-            data = codec.decode_forward(payload, data)
-            cache[chunk_record.version] = data
-        if self.cache_capacity:
-            self._cache_put(
-                (record.array_id, version, attribute, chunk.name), data)
-        return data
-
-    # ------------------------------------------------------------------
-    # Chunk cache plumbing
-    # ------------------------------------------------------------------
-    def _cache_get(self, key: tuple) -> np.ndarray | None:
-        entry = self._chunk_cache.get(key)
-        if entry is None:
-            self.cache_misses += 1
-            return None
-        self._chunk_cache.move_to_end(key)
-        self.cache_hits += 1
-        return entry
-
-    def _cache_put(self, key: tuple, data: np.ndarray) -> None:
-        self._chunk_cache[key] = data
-        self._chunk_cache.move_to_end(key)
-        while len(self._chunk_cache) > self.cache_capacity:
-            self._chunk_cache.popitem(last=False)
-
-    def _invalidate_cache(self, array_id: int) -> None:
-        """Drop cached chunks of one array after any re-encoding."""
-        stale = [key for key in self._chunk_cache if key[0] == array_id]
-        for key in stale:
-            del self._chunk_cache[key]
-
-    def cache_info(self) -> dict:
-        """Hit/miss counters and current occupancy of the chunk cache."""
-        return {
-            "capacity": self.cache_capacity,
-            "entries": len(self._chunk_cache),
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
-        }
+        """Back-compat shim over :meth:`DecodePipeline.reconstruct`."""
+        return self.decoder.reconstruct(record, version, attribute, chunk,
+                                        cache)
 
     def _repack(self, record: ArrayRecord) -> None:
-        """Rewrite co-located chunk files keeping only live payloads."""
+        """Rewrite co-located chunk objects keeping only live payloads."""
         if self.store.placement != COLOCATED:
             return
         live = self.catalog.all_chunks(record.array_id)
@@ -644,23 +554,6 @@ class VersionedStorageManager:
         # A strictly increasing logical clock keeps catalog timestamps
         # deterministic; wall-clock seconds provide the coarse component.
         return time.time() + next(self._tick) * 1e-6
-
-
-def _overlap_slices(chunk: ChunkRef, lo: tuple[int, ...],
-                    hi: tuple[int, ...]) -> tuple[tuple, tuple]:
-    """Slices mapping a chunk's cells into a query region canvas.
-
-    Returns ``(src, dst)`` where ``src`` indexes within the chunk array
-    and ``dst`` within the region-shaped output canvas.
-    """
-    src = []
-    dst = []
-    for c_lo, c_hi, r_lo, r_hi in zip(chunk.lo, chunk.hi, lo, hi):
-        start = max(c_lo, r_lo)
-        stop = min(c_hi, r_hi)
-        src.append(np.s_[start - c_lo:stop - c_lo + 1])
-        dst.append(np.s_[start - r_lo:stop - r_lo + 1])
-    return tuple(src), tuple(dst)
 
 
 def _topological_order(parent_of: dict[int, int | None]) -> list[int]:

@@ -1,0 +1,332 @@
+"""Explicit encode/decode pipelines between the manager and the store.
+
+Figure 1 draws the insert and select paths as staged flows; the seed
+implementation fused both into ``VersionedStorageManager``.  This module
+makes the stages first-class:
+
+* :class:`EncodePipeline` — the insert path: **delta-encode** the chunk
+  against the policy-selected base, **compress** materialized chunks,
+  and **place** the payload in the chunk store, recording the encoding
+  decision in the Version Metadata;
+* :class:`DecodePipeline` — the select path: **locate** the chunk's
+  delta chain in the metadata, **read** the chain (batched, one backend
+  open per distinct object), **decompress** the materialized root,
+  **delta-decode** forward along the chain, and **assemble** result
+  arrays;
+* :class:`ChunkCache` — one bytes-bounded LRU of decoded chunks shared
+  by both pipelines (writes invalidate, reads populate), replacing the
+  seed's ad-hoc per-manager LRU.  The paper's cost model "ignores
+  caching effects ... since they are often negligible in our context for
+  very large arrays", so the cache is off unless given a budget.
+
+The pipelines own *how* versions are encoded and decoded;
+``VersionedStorageManager`` shrinks to orchestration — catalog
+bookkeeping, version lineage, and layout re-organization.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.compression.registry import get_codec
+from repro.core.array import ArrayData
+from repro.core.errors import NoOverwriteError, StorageError
+from repro.delta.auto import EncodingDecision, choose_encoding
+from repro.delta.registry import get_delta_codec
+from repro.storage.chunking import ChunkGrid, ChunkRef
+from repro.storage.chunkstore import ChunkStore
+from repro.storage.iostats import IOStats
+from repro.storage.metadata import (
+    ArrayRecord,
+    ChunkRecord,
+    MetadataCatalog,
+)
+
+#: Insert-time delta policies.
+POLICY_AUTO = "auto"          # try the candidate codecs, keep the smallest
+POLICY_CHAIN = "chain"        # delta against the parent (fallback: smaller)
+POLICY_MATERIALIZE = "materialize"  # never delta on insert
+_POLICIES = (POLICY_AUTO, POLICY_CHAIN, POLICY_MATERIALIZE)
+
+
+def ensure_policy(delta_policy: str) -> str:
+    """Validate an insert-time delta policy name (returns it unchanged).
+
+    Callers that create durable state (directories, catalog files)
+    should validate up front so a bad configuration fails before any
+    side effect.
+    """
+    if delta_policy not in _POLICIES:
+        raise StorageError(
+            f"unknown delta policy {delta_policy!r}; "
+            f"expected one of {_POLICIES}")
+    return delta_policy
+
+
+class ChunkCache:
+    """Bytes-bounded LRU of decoded chunks, keyed by
+    ``(array_id, version, attribute, chunk_name)``.
+
+    ``max_entries`` and ``max_bytes`` are independent budgets; zero
+    disables the bound, and both zero disables the cache entirely
+    (:attr:`enabled`).  Hits and misses are mirrored into the attached
+    :class:`IOStats` so cache effectiveness appears next to the I/O it
+    avoided.
+    """
+
+    def __init__(self, max_entries: int = 0, max_bytes: int = 0,
+                 stats: IOStats | None = None):
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = stats
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0 or self.max_bytes > 0
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            if self.stats is not None:
+                self.stats.record_cache_miss()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if self.stats is not None:
+            self.stats.record_cache_hit()
+        return entry
+
+    def put(self, key: tuple, data: np.ndarray) -> None:
+        stale = self._entries.pop(key, None)
+        if stale is not None:
+            self._bytes -= stale.nbytes
+        self._entries[key] = data
+        self._bytes += data.nbytes
+        while self._entries and self._over_budget():
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+
+    def _over_budget(self) -> bool:
+        return (0 < self.max_entries < len(self._entries)) or \
+            (0 < self.max_bytes < self._bytes)
+
+    def invalidate_array(self, array_id: int) -> None:
+        """Drop cached chunks of one array after any re-encoding."""
+        stale = [key for key in self._entries if key[0] == array_id]
+        for key in stale:
+            self._bytes -= self._entries.pop(key).nbytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    def info(self) -> dict:
+        """Budgets, occupancy, and hit/miss counters."""
+        return {
+            "capacity": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+class EncodePipeline:
+    """The insert path: delta-encode → compress → place (Figure 1, left)."""
+
+    def __init__(self, catalog: MetadataCatalog, store: ChunkStore, *,
+                 delta_policy: str = POLICY_CHAIN,
+                 delta_codec: str = "hybrid",
+                 cache: ChunkCache | None = None):
+        ensure_policy(delta_policy)
+        self.catalog = catalog
+        self.store = store
+        self.delta_policy = delta_policy
+        self.delta_codec_name = delta_codec
+        self.cache = cache if cache is not None else ChunkCache()
+
+    @property
+    def wants_base(self) -> bool:
+        """Whether the policy ever deltas (the base version is worth
+        reconstructing before encoding)."""
+        return self.delta_policy != POLICY_MATERIALIZE
+
+    def encode_chunk(self, target: np.ndarray, base: np.ndarray | None,
+                     compressor) -> EncodingDecision:
+        """Stage 1+2: pick and produce the chunk's representation."""
+        if self.delta_policy == POLICY_MATERIALIZE or base is None:
+            return choose_encoding(target, None, compressor=compressor)
+        if self.delta_policy == POLICY_CHAIN:
+            codec = get_delta_codec(self.delta_codec_name)
+            return choose_encoding(target, base, compressor=compressor,
+                                   candidates=(codec,))
+        return choose_encoding(target, base, compressor=compressor)
+
+    def write_version(self, record: ArrayRecord, grid: ChunkGrid,
+                      version: int, data: ArrayData, *,
+                      base_data: ArrayData | None,
+                      base_version: int | None,
+                      replace: bool = False) -> None:
+        """Encode and persist every chunk of one version."""
+        if self.cache.enabled:
+            self.cache.invalidate_array(record.array_id)
+        if not replace:
+            existing = self.catalog.chunks_for_version(record.array_id,
+                                                       version)
+            if existing:
+                raise NoOverwriteError(
+                    f"version {version} of {record.name!r} already exists")
+        compressor = get_codec(record.compressor)
+        for attr in record.schema.attributes:
+            target_full = data.attribute(attr.name)
+            base_full = base_data.attribute(attr.name) \
+                if base_data is not None else None
+            for chunk in grid.chunks():
+                target = np.ascontiguousarray(target_full[chunk.slices()])
+                base = np.ascontiguousarray(base_full[chunk.slices()]) \
+                    if base_full is not None else None
+                decision = self.encode_chunk(target, base, compressor)
+                location = self.store.write_chunk(
+                    record.name, version, attr.name, chunk.name,
+                    decision.payload)
+                self.catalog.put_chunk(ChunkRecord(
+                    array_id=record.array_id,
+                    version=version,
+                    attribute=attr.name,
+                    chunk_name=chunk.name,
+                    delta_codec=decision.delta_codec,
+                    base_version=base_version if decision.is_delta
+                    else None,
+                    compressor=record.compressor,
+                    location=location,
+                ))
+
+
+class DecodePipeline:
+    """The select path: locate → read chain → decompress → delta-decode
+    → assemble (Figure 1, right; Figure 2's read pattern)."""
+
+    def __init__(self, catalog: MetadataCatalog, store: ChunkStore, *,
+                 cache: ChunkCache | None = None):
+        self.catalog = catalog
+        self.store = store
+        self.cache = cache if cache is not None else ChunkCache()
+
+    def reconstruct(self, record: ArrayRecord, version: int,
+                    attribute: str, chunk: ChunkRef,
+                    scope: dict[int, np.ndarray] | None = None
+                    ) -> np.ndarray:
+        """Unwind the delta chain of one chunk (Figure 2's read pattern).
+
+        ``scope`` maps already-resolved versions of this chunk to their
+        contents; chains stop as soon as they reach a resolved version,
+        so multi-version queries share the work of common prefixes.  The
+        whole chain is read in one batched pass — for co-located
+        placement that is a single backend open regardless of depth.
+        """
+        if scope is None:
+            scope = {}
+        key = (record.array_id, version, attribute, chunk.name)
+        if self.cache.enabled:
+            cached = self.cache.get(key)
+            if cached is not None:
+                scope[version] = cached
+                return cached
+
+        # Stage 1: locate — walk the chain in the metadata.
+        chain: list[ChunkRecord] = []
+        cursor: int | None = version
+        seen: set[int] = set()
+        while cursor is not None and cursor not in scope:
+            if cursor in seen:
+                raise StorageError(
+                    f"delta cycle detected for {record.name!r} "
+                    f"chunk {chunk.name} at version {cursor}")
+            seen.add(cursor)
+            chunk_record = self.catalog.get_chunk(
+                record.array_id, cursor, attribute, chunk.name)
+            chain.append(chunk_record)
+            cursor = chunk_record.base_version
+
+        # Stage 2: read — the whole chain, one open per distinct object.
+        payloads = self.store.read_chunks(
+            [chunk_record.location for chunk_record in chain])
+
+        # Stage 3: decompress the materialized root (or start from the
+        # already-resolved version the chain stopped at).
+        if cursor is not None:
+            data = scope[cursor]
+        else:
+            root = chain.pop()
+            data = get_codec(root.compressor).decode(payloads.pop())
+            scope[root.version] = data
+
+        # Stage 4: delta-decode forward along the chain.
+        for chunk_record, payload in zip(reversed(chain),
+                                         reversed(payloads)):
+            codec = get_delta_codec(chunk_record.delta_codec)
+            data = codec.decode_forward(payload, data)
+            scope[chunk_record.version] = data
+
+        if self.cache.enabled:
+            self.cache.put(key, data)
+        return data
+
+    # ------------------------------------------------------------------
+    # Stage 5: assembly
+    # ------------------------------------------------------------------
+    def read_version(self, record: ArrayRecord, grid: ChunkGrid,
+                     version: int) -> ArrayData:
+        """Assemble the full contents of one version."""
+        attributes = {}
+        for attr in record.schema.attributes:
+            canvas = np.empty(record.schema.shape, dtype=attr.dtype)
+            for chunk in grid.chunks():
+                canvas[chunk.slices()] = self.reconstruct(
+                    record, version, attr.name, chunk)
+            attributes[attr.name] = canvas
+        return ArrayData(record.schema, attributes)
+
+    def read_region(self, record: ArrayRecord, grid: ChunkGrid,
+                    version: int, lo: tuple[int, ...],
+                    hi: tuple[int, ...]) -> ArrayData:
+        """Assemble a zero-based hyper-rectangle of one version."""
+        from repro.core.array import _sliced_schema
+
+        schema = record.schema
+        region_shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+        attributes = {}
+        for attr in schema.attributes:
+            canvas = np.empty(region_shape, dtype=attr.dtype)
+            for chunk in grid.chunks_overlapping(lo, hi):
+                chunk_data = self.reconstruct(record, version, attr.name,
+                                              chunk)
+                src, dst = overlap_slices(chunk, lo, hi)
+                canvas[dst] = chunk_data[src]
+            attributes[attr.name] = canvas
+        return ArrayData(_sliced_schema(schema, lo, hi), attributes)
+
+
+def overlap_slices(chunk: ChunkRef, lo: tuple[int, ...],
+                   hi: tuple[int, ...]) -> tuple[tuple, tuple]:
+    """Slices mapping a chunk's cells into a query region canvas.
+
+    Returns ``(src, dst)`` where ``src`` indexes within the chunk array
+    and ``dst`` within the region-shaped output canvas.
+    """
+    src = []
+    dst = []
+    for c_lo, c_hi, r_lo, r_hi in zip(chunk.lo, chunk.hi, lo, hi):
+        start = max(c_lo, r_lo)
+        stop = min(c_hi, r_hi)
+        src.append(np.s_[start - c_lo:stop - c_lo + 1])
+        dst.append(np.s_[start - r_lo:stop - r_lo + 1])
+    return tuple(src), tuple(dst)

@@ -138,6 +138,50 @@ class TestMultiAttribute:
         np.testing.assert_array_equal(out.attribute("pressure"), pressure)
 
 
+class TestInMemoryCluster:
+    """End-to-end cluster runs on per-node in-memory backends."""
+
+    @pytest.fixture
+    def mem_cluster(self, tmp_path) -> ClusterCoordinator:
+        return ClusterCoordinator(tmp_path / "cluster", nodes=3,
+                                  chunk_bytes=1024, backend="memory")
+
+    def test_end_to_end_zero_disk(self, mem_cluster, tmp_path, rng):
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        mem_cluster.create_array("A", schema)
+        versions = []
+        data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+        for _ in range(3):
+            versions.append(data)
+            mem_cluster.insert("A", data)
+            data = data + 1
+        for number, expected in enumerate(versions, 1):
+            np.testing.assert_array_equal(
+                mem_cluster.select("A", number).single(), expected)
+        out = mem_cluster.select_region("A", 2, (2, 1), (9, 6))
+        np.testing.assert_array_equal(out.single(),
+                                      versions[1][2:10, 1:7])
+        mem_cluster.reorganize("A", mode="head")
+        np.testing.assert_array_equal(
+            mem_cluster.select("A", 3).single(), versions[2])
+        assert mem_cluster.stored_bytes("A") > 0
+        # No node ever touched the disk.
+        assert not (tmp_path / "cluster").exists()
+        mem_cluster.close()
+
+    def test_nodes_get_independent_backends(self, mem_cluster):
+        backends = {id(manager.backend)
+                    for manager in mem_cluster.managers}
+        assert len(backends) == mem_cluster.nodes
+
+    def test_shared_backend_instance_rejected(self, tmp_path):
+        from repro.storage import InMemoryBackend
+
+        with pytest.raises(StorageError):
+            ClusterCoordinator(tmp_path, nodes=2,
+                               backend=InMemoryBackend())
+
+
 class TestValidation:
     def test_zero_nodes_rejected(self, tmp_path):
         with pytest.raises(StorageError):

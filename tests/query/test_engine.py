@@ -79,3 +79,38 @@ class TestDatabaseFacade:
         assert db.manager.delta_codec_name == "hybrid+lz"
         assert db.manager.store.placement == "per-version"
         db.close()
+
+    def test_context_manager_closes(self, tmp_path, rng):
+        data = rng.integers(0, 9, (4, 4)).astype(np.int32)
+        with Database(tmp_path / "ctx", chunk_bytes=4096) as db:
+            db.execute("CREATE UPDATABLE ARRAY A ( V::INTEGER ) "
+                       "[ I=0:3, J=0:3 ];")
+            db.insert("A", data)
+            np.testing.assert_array_equal(db.select("A@1"), data)
+        # The catalog connection is released; reopening sees the data.
+        with Database(tmp_path / "ctx") as reopened:
+            np.testing.assert_array_equal(reopened.select("A@1"), data)
+
+    def test_cache_knobs_and_stats_exposed(self, tmp_path, rng):
+        data = rng.integers(0, 9, (4, 4)).astype(np.int32)
+        with Database(tmp_path / "cached", chunk_bytes=4096,
+                      cache_chunks=8) as db:
+            db.execute("CREATE UPDATABLE ARRAY A ( V::INTEGER ) "
+                       "[ I=0:3, J=0:3 ];")
+            db.insert("A", data)
+            db.select("A@1")
+            before = db.stats.chunks_read
+            db.select("A@1")
+            assert db.stats.chunks_read == before  # cache absorbed it
+            info = db.cache_info()
+            assert info["capacity"] == 8
+            assert info["hits"] > 0
+
+    def test_memory_backend_leaves_no_files(self, tmp_path, rng):
+        data = rng.integers(0, 9, (4, 4)).astype(np.int32)
+        with Database(tmp_path / "mem", backend="memory") as db:
+            db.execute("CREATE UPDATABLE ARRAY A ( V::INTEGER ) "
+                       "[ I=0:3, J=0:3 ];")
+            db.insert("A", data)
+            np.testing.assert_array_equal(db.select("A@1"), data)
+        assert not (tmp_path / "mem").exists()

@@ -1,0 +1,206 @@
+"""Backend conformance suite: every backend behaves identically.
+
+The :class:`~repro.storage.backend.StorageBackend` contract is
+exercised twice — once against the raw byte API, once end-to-end
+through :class:`VersionedStorageManager` across the (backend x
+placement) grid, where every configuration must return byte-identical
+query results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.schema import ArraySchema
+from repro.storage import (
+    COLOCATED,
+    PER_VERSION,
+    InMemoryBackend,
+    LocalFileBackend,
+    StorageBackend,
+    VersionedStorageManager,
+    resolve_backend,
+)
+
+
+@pytest.fixture(params=["local", "memory"])
+def backend(request, tmp_path) -> StorageBackend:
+    if request.param == "local":
+        return LocalFileBackend(tmp_path / "store")
+    return InMemoryBackend()
+
+
+class TestByteContract:
+    def test_write_read_roundtrip(self, backend):
+        backend.write("A/chunks/value/c.dat", b"payload-bytes")
+        assert backend.read("A/chunks/value/c.dat", 0, 13) == \
+            b"payload-bytes"
+
+    def test_write_replaces_wholesale(self, backend):
+        backend.write("A/c.dat", b"first contents")
+        backend.write("A/c.dat", b"new")
+        assert backend.total_bytes("A") == 3
+        assert backend.read("A/c.dat", 0, 3) == b"new"
+
+    def test_append_returns_offsets(self, backend):
+        assert backend.append("A/c.dat", b"v1..") == 0
+        assert backend.append("A/c.dat", b"version-two") == 4
+        assert backend.read("A/c.dat", 4, 11) == b"version-two"
+
+    def test_read_many_preserves_span_order(self, backend):
+        backend.append("A/c.dat", b"aaaa")
+        backend.append("A/c.dat", b"bb")
+        backend.append("A/c.dat", b"cccccc")
+        payloads = backend.read_many("A/c.dat",
+                                     [(6, 6), (0, 4), (4, 2)])
+        assert payloads == [b"cccccc", b"aaaa", b"bb"]
+
+    def test_missing_object_raises(self, backend):
+        with pytest.raises(StorageError):
+            backend.read("A/nowhere.dat", 0, 4)
+        with pytest.raises(StorageError):
+            backend.read_many("A/nowhere.dat", [(0, 4)])
+
+    def test_short_span_raises(self, backend):
+        backend.write("A/c.dat", b"abc")
+        with pytest.raises(StorageError):
+            backend.read("A/c.dat", 0, 100)
+        with pytest.raises(StorageError):
+            backend.read_many("A/c.dat", [(0, 3), (1, 50)])
+
+    def test_delete_object(self, backend):
+        backend.write("A/c.dat", b"data")
+        backend.delete("A/c.dat")
+        with pytest.raises(StorageError):
+            backend.read("A/c.dat", 0, 4)
+
+    def test_delete_prefix_subtree(self, backend):
+        backend.write("A/v1/value/c.dat", b"data")
+        backend.write("A/v2/value/c.dat", b"more")
+        backend.write("B/v1/value/c.dat", b"keep")
+        backend.delete("A")
+        assert backend.total_bytes("A") == 0
+        assert backend.read("B/v1/value/c.dat", 0, 4) == b"keep"
+
+    def test_delete_missing_is_noop(self, backend):
+        backend.delete("A/ghost.dat")  # must not raise
+
+    def test_total_bytes(self, backend):
+        assert backend.total_bytes() == 0
+        backend.write("A/c.dat", b"12345")
+        backend.write("B/c.dat", b"123")
+        assert backend.total_bytes("A") == 5
+        assert backend.total_bytes() == 8
+        assert backend.total_bytes("missing") == 0
+
+
+class TestResolveBackend:
+    def test_names_and_default(self, tmp_path):
+        assert isinstance(resolve_backend(None, tmp_path),
+                          LocalFileBackend)
+        assert isinstance(resolve_backend("local", tmp_path),
+                          LocalFileBackend)
+        assert isinstance(resolve_backend("memory", tmp_path),
+                          InMemoryBackend)
+
+    def test_instance_passthrough(self, tmp_path):
+        backend = InMemoryBackend()
+        assert resolve_backend(backend, tmp_path) is backend
+
+    def test_factory_called_with_root(self, tmp_path):
+        seen = []
+
+        def factory(root):
+            seen.append(root)
+            return InMemoryBackend()
+
+        backend = resolve_backend(factory, tmp_path)
+        assert isinstance(backend, InMemoryBackend)
+        assert seen == [tmp_path]
+
+    def test_bad_factory_result_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            resolve_backend(lambda root: object(), tmp_path)
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            resolve_backend("tape", tmp_path)
+
+
+#: The (backend, placement) grid every storage semantic must agree on.
+CONFIGS = [("local", COLOCATED), ("local", PER_VERSION),
+           ("memory", COLOCATED), ("memory", PER_VERSION)]
+
+
+def _exercise(manager: VersionedStorageManager) -> dict:
+    """One deterministic workout of the paper's five operations."""
+    rng = np.random.default_rng(7)
+    manager.create_array("A", ArraySchema.simple((16, 16),
+                                                 dtype=np.int32))
+    data = rng.integers(0, 1000, (16, 16)).astype(np.int32)
+    for _ in range(4):
+        manager.insert("A", data)
+        data = data + rng.integers(0, 3, (16, 16)).astype(np.int32)
+    manager.branch("A", 2, "B")
+    manager.delete_version("A", 3)
+    manager.reorganize("A", mode="space")
+    return {
+        "versions": manager.get_versions("A"),
+        "selects": {v: manager.select("A", v).single()
+                    for v in manager.get_versions("A")},
+        "region": manager.select_region("A", 4, (2, 3), (9, 12)).single(),
+        "stack": manager.select_versions("A", [1, 4]),
+        "branch": manager.select("B", 1).single(),
+        "stored": manager.stored_bytes("A"),
+    }
+
+
+@pytest.mark.parametrize("backend_name,placement", CONFIGS)
+def test_manager_conformance_identical(tmp_path, backend_name, placement):
+    """Every backend/placement pair returns byte-identical results."""
+    with VersionedStorageManager(
+            tmp_path / "ref", chunk_bytes=512,
+            placement=COLOCATED) as reference_manager:
+        reference = _exercise(reference_manager)
+    with VersionedStorageManager(
+            tmp_path / "sub", chunk_bytes=512, placement=placement,
+            backend=backend_name) as manager:
+        observed = _exercise(manager)
+
+    assert observed["versions"] == reference["versions"]
+    assert observed["stored"] > 0
+    for version, expected in reference["selects"].items():
+        np.testing.assert_array_equal(observed["selects"][version],
+                                      expected)
+    np.testing.assert_array_equal(observed["region"], reference["region"])
+    np.testing.assert_array_equal(observed["stack"], reference["stack"])
+    np.testing.assert_array_equal(observed["branch"], reference["branch"])
+
+
+class TestInMemoryManager:
+    def test_zero_disk_footprint(self, tmp_path, rng):
+        manager = VersionedStorageManager(tmp_path / "mem",
+                                          chunk_bytes=1024,
+                                          backend="memory")
+        manager.create_array("A", ArraySchema.simple((8, 8),
+                                                     dtype=np.int64))
+        data = rng.integers(0, 99, (8, 8)).astype(np.int64)
+        manager.insert("A", data)
+        np.testing.assert_array_equal(manager.select("A", 1).single(),
+                                      data)
+        # Neither chunk files nor the catalog ever touch the disk.
+        assert not (tmp_path / "mem").exists()
+        manager.close()
+
+    def test_stored_bytes_tracked(self, tmp_path, rng):
+        manager = VersionedStorageManager(tmp_path, chunk_bytes=1024,
+                                          backend="memory")
+        manager.create_array("A", ArraySchema.simple((8, 8),
+                                                     dtype=np.int64))
+        manager.insert("A", rng.integers(0, 9, (8, 8)).astype(np.int64))
+        assert manager.store.total_bytes("A") > 0
+        manager.delete_array("A")
+        assert manager.store.total_bytes("A") == 0
+        manager.close()

@@ -1,0 +1,177 @@
+"""Tests for the explicit encode/decode pipeline layer.
+
+Covers the bytes-bounded :class:`ChunkCache` (eviction, invalidation,
+stats flow) and the batched chain read — the decode pipeline must open
+one object per co-located chunk chain, not one per payload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.schema import ArraySchema
+from repro.storage import (
+    COLOCATED,
+    PER_VERSION,
+    ChunkCache,
+    IOStats,
+    VersionedStorageManager,
+)
+
+
+class TestChunkCacheBounds:
+    def test_disabled_without_budget(self):
+        cache = ChunkCache()
+        assert not cache.enabled
+
+    def test_entry_budget_evicts_lru(self):
+        cache = ChunkCache(max_entries=2)
+        a, b, c = (np.full(4, i) for i in range(3))
+        cache.put(("arr", 1), a)
+        cache.put(("arr", 2), b)
+        cache.get(("arr", 1))  # freshen 1; 2 becomes LRU
+        cache.put(("arr", 3), c)
+        assert cache.get(("arr", 2)) is None
+        assert cache.get(("arr", 1)) is a
+        assert cache.get(("arr", 3)) is c
+
+    def test_byte_budget_evicts_lru(self):
+        cache = ChunkCache(max_bytes=100)
+        small = np.zeros(5, dtype=np.int64)   # 40 bytes
+        cache.put(("arr", 1), small)
+        cache.put(("arr", 2), small)
+        assert cache.info()["bytes"] == 80
+        cache.put(("arr", 3), small)          # 120 > 100: evict v1
+        assert cache.get(("arr", 1)) is None
+        assert cache.info()["bytes"] == 80
+        assert cache.info()["entries"] == 2
+
+    def test_oversized_entry_not_retained(self):
+        cache = ChunkCache(max_bytes=16)
+        cache.put(("arr", 1), np.zeros(100, dtype=np.int64))
+        assert cache.info()["entries"] == 0
+        assert cache.info()["bytes"] == 0
+
+    def test_reput_updates_byte_accounting(self):
+        cache = ChunkCache(max_bytes=1000)
+        cache.put(("arr", 1), np.zeros(10, dtype=np.int64))
+        cache.put(("arr", 1), np.zeros(2, dtype=np.int64))
+        assert cache.info()["entries"] == 1
+        assert cache.info()["bytes"] == 16
+
+    def test_invalidate_array_scopes_by_id(self):
+        cache = ChunkCache(max_entries=8)
+        data = np.zeros(4)
+        cache.put((1, 1, "v", "c"), data)
+        cache.put((1, 2, "v", "c"), data)
+        cache.put((2, 1, "v", "c"), data)
+        cache.invalidate_array(1)
+        assert cache.info()["entries"] == 1
+        assert cache.get((2, 1, "v", "c")) is data
+        assert cache.info()["bytes"] == data.nbytes
+
+    def test_hits_and_misses_flow_into_iostats(self):
+        stats = IOStats()
+        cache = ChunkCache(max_entries=4, stats=stats)
+        data = np.zeros(4)
+        cache.get(("arr", 1))
+        cache.put(("arr", 1), data)
+        cache.get(("arr", 1))
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert (stats.cache_hits, stats.cache_misses) == (1, 1)
+
+    def test_clear(self):
+        cache = ChunkCache(max_entries=4)
+        cache.put(("arr", 1), np.zeros(4))
+        cache.clear()
+        assert cache.info()["entries"] == 0
+        assert cache.info()["bytes"] == 0
+
+
+class TestEagerValidation:
+    def test_bad_policy_fails_before_side_effects(self, tmp_path):
+        with pytest.raises(StorageError):
+            VersionedStorageManager(tmp_path / "bad",
+                                    delta_policy="psychic")
+        # Nothing durable was created by the failed constructor.
+        assert not (tmp_path / "bad").exists()
+
+
+class TestManagerByteBudget:
+    def test_cache_bytes_knob(self, tmp_path, rng):
+        manager = VersionedStorageManager(tmp_path, chunk_bytes=2048,
+                                          cache_bytes=1 << 20)
+        manager.create_array("A", ArraySchema.simple((16, 16),
+                                                     dtype=np.int32))
+        data = rng.integers(0, 100, (16, 16)).astype(np.int32)
+        manager.insert("A", data)
+        manager.select("A", 1)
+        before = manager.stats.chunks_read
+        out = manager.select("A", 1)
+        assert manager.stats.chunks_read == before  # served by cache
+        assert manager.cache_info()["hits"] > 0
+        assert 0 < manager.cache_info()["bytes"] <= 1 << 20
+        np.testing.assert_array_equal(out.single(), data)
+        manager.close()
+
+    def test_byte_budget_bounds_occupancy(self, tmp_path, rng):
+        # Each 8x8 int64 chunk is 512 bytes; a 1 KB budget keeps at
+        # most two decoded chunks resident.
+        manager = VersionedStorageManager(tmp_path, chunk_bytes=512,
+                                          cache_bytes=1024)
+        manager.create_array("A", ArraySchema.simple((16, 16),
+                                                     dtype=np.int64))
+        manager.insert("A", rng.integers(0, 9, (16, 16)).astype(np.int64))
+        manager.select("A", 1)  # touches four chunks
+        info = manager.cache_info()
+        assert info["bytes"] <= 1024
+        assert info["entries"] <= 2
+        manager.close()
+
+
+def _chained(tmp_path, placement, depth=4):
+    manager = VersionedStorageManager(tmp_path / placement,
+                                      chunk_bytes=800,
+                                      compressor="none",
+                                      delta_policy="chain",
+                                      placement=placement)
+    manager.create_array("A", ArraySchema.simple((20, 20),
+                                                 dtype=np.int64))
+    rng = np.random.default_rng(2012)
+    data = rng.integers(0, 1000, (20, 20)).astype(np.int64)
+    for _ in range(depth):
+        manager.insert("A", data)
+        data = np.where(rng.random((20, 20)) > 0.9, data + 1, data)
+    return manager
+
+
+class TestBatchedChainReads:
+    def test_colocated_opens_one_file_per_chunk(self, tmp_path):
+        manager = _chained(tmp_path, COLOCATED)
+        with manager.stats.measure() as window:
+            manager.select_region("A", 4, (0, 0), (9, 19))
+        # Two chunks overlap the region; each chain is 4 payloads deep
+        # but lives in one co-located object.
+        assert window.chunks_read == 8
+        assert window.file_opens == 2
+        manager.close()
+
+    def test_per_version_opens_one_file_per_payload(self, tmp_path):
+        manager = _chained(tmp_path, PER_VERSION)
+        with manager.stats.measure() as window:
+            manager.select_region("A", 4, (0, 0), (9, 19))
+        assert window.chunks_read == 8
+        assert window.file_opens == 8
+        manager.close()
+
+    def test_batched_read_results_identical(self, tmp_path):
+        colocated = _chained(tmp_path, COLOCATED)
+        per_version = _chained(tmp_path, PER_VERSION)
+        for version in (1, 2, 3, 4):
+            np.testing.assert_array_equal(
+                colocated.select("A", version).single(),
+                per_version.select("A", version).single())
+        colocated.close()
+        per_version.close()

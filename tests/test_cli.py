@@ -74,3 +74,17 @@ class TestCLI:
     def test_requires_command(self, store):
         with pytest.raises(SystemExit):
             main([str(store)])
+
+    def test_backend_flag(self, store, capsys):
+        assert main([str(store), "--backend", "local", "list"]) == 0
+        assert "Example" in capsys.readouterr().out
+
+    def test_backend_memory_is_empty_store(self, store, capsys):
+        # The memory backend is ephemeral: nothing to inspect, but the
+        # knob must wire through cleanly.
+        assert main([str(store), "--backend", "memory", "list"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_unknown_backend_rejected(self, store):
+        with pytest.raises(SystemExit):
+            main([str(store), "--backend", "tape", "list"])
