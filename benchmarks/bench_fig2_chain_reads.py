@@ -1,25 +1,47 @@
-"""Experiment F2 — Figure 2: chunk reads along a delta chain."""
+"""Experiment F2 — Figure 2: chunk reads along a delta chain.
+
+The sweep runs a backend axis (disk vs memory) *and* a workers axis
+(serial vs parallel chunk reconstruction); the I/O invariants must be
+byte-for-byte identical in every cell, proving the parallel decode
+path changes wall-clock only, never what is read.  The rows land in
+``BENCH_fig2.json`` (uploaded as a CI artifact).
+"""
 
 from repro.bench import fig2
 
 
 def bench_fig2_chain_reads(run_once):
-    rows = run_once(fig2.run, backends=("local", "memory"))
+    rows = run_once(fig2.run, backends=("local", "memory"),
+                    workers=(1, 4), json_path="BENCH_fig2.json")
 
     for backend in ("local", "memory"):
-        backend_rows = [row for row in rows if row["backend"] == backend]
+        for degree in (1, 4):
+            cell_rows = [row for row in rows
+                         if row["backend"] == backend
+                         and row["workers"] == degree]
 
-        # The figure's exact scenario: chain depth 3, 2 chunks in the
-        # region, 6 chunks read.
-        depth3 = next(row for row in backend_rows
-                      if row["chain_depth"] == 3)
-        assert depth3["chunks_read"] == 6
-        for row in backend_rows:
-            # Read amplification is linear in chain depth ...
-            assert row["chunks_read"] == \
-                row["chain_depth"] * row["chunks_overlapping_query"]
-            # ... but the batched chain read opens each co-located chunk
-            # object once, so file opens stay constant in chain depth.
-            assert row["file_opens"] == row["chunks_overlapping_query"]
-            if row["chain_depth"] > 1:
-                assert row["file_opens"] < row["chunks_read"]
+            # The figure's exact scenario: chain depth 3, 2 chunks in
+            # the region, 6 chunks read.
+            depth3 = next(row for row in cell_rows
+                          if row["chain_depth"] == 3)
+            assert depth3["chunks_read"] == 6
+            for row in cell_rows:
+                # Read amplification is linear in chain depth ...
+                assert row["chunks_read"] == \
+                    row["chain_depth"] * row["chunks_overlapping_query"]
+                # ... but the batched chain read opens each co-located
+                # chunk object once, so file opens stay constant in
+                # chain depth — even under parallel reads.
+                assert row["file_opens"] == \
+                    row["chunks_overlapping_query"]
+                if row["chain_depth"] > 1:
+                    assert row["file_opens"] < row["chunks_read"]
+
+    # The workers axis must not change a single I/O counter.
+    def counters(row):
+        return (row["backend"], row["chain_depth"],
+                row["chunks_read"], row["file_opens"])
+
+    serial = sorted(counters(r) for r in rows if r["workers"] == 1)
+    parallel = sorted(counters(r) for r in rows if r["workers"] == 4)
+    assert serial == parallel

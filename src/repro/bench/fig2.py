@@ -13,17 +13,28 @@ the whole chain of one chunk lives in one object, so the batched chain
 read opens as many objects as the region overlaps chunks — constant in
 chain depth — while payload reads grow linearly.  The optional backend
 axis (``backends=("local", "memory")``) runs the same sweep against
-the in-memory backend for a disk-free baseline.
+the in-memory backend for a disk-free baseline, and the workers axis
+(``workers=(1, 4)``) repeats it under parallel chunk reconstruction —
+the counters (and the constant-opens invariant) must be identical to
+the serial run, with the query wall-clock reported per cell.
+``json_path`` writes every row to a JSON artifact (``BENCH_fig2.json``
+in CI).
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
-from repro.bench.harness import backend_axis, print_table
+from repro.bench.harness import (
+    backend_axis,
+    print_table,
+    timed,
+    workers_axis,
+)
 from repro.core.schema import ArraySchema
 from repro.storage import VersionedStorageManager
 
@@ -31,14 +42,16 @@ ARRAY = "fig2"
 
 
 def _build(root: Path, versions: int, rng: np.random.Generator,
-           backend: str = "local") -> VersionedStorageManager:
+           backend: str = "local",
+           workers: int = 0) -> VersionedStorageManager:
     # 20x20 int64 cells with 800-byte chunks -> stride 10 -> 2x2 grid,
     # exactly the figure's four chunks.
     manager = VersionedStorageManager(root, chunk_bytes=800,
                                       compressor="none",
                                       delta_codec="hybrid",
                                       delta_policy="chain",
-                                      backend=backend)
+                                      backend=backend,
+                                      workers=workers)
     manager.create_array(ARRAY, ArraySchema.simple((20, 20),
                                                    dtype=np.int64))
     data = rng.integers(0, 1000, (20, 20)).astype(np.int64)
@@ -49,37 +62,47 @@ def _build(root: Path, versions: int, rng: np.random.Generator,
     return manager
 
 
-def run(max_chain: int = 6, *, backends=None,
+def run(max_chain: int = 6, *, backends=None, workers=None,
         workdir: str | None = None,
+        json_path: str | Path | None = None,
         quiet: bool = False) -> list[dict]:
     """Measure chunks read for the Figure 2 query at several depths."""
     rows = []
     with tempfile.TemporaryDirectory(dir=workdir) as scratch:
         for backend in backend_axis(backends):
-            rng = np.random.default_rng(2012)
-            for depth in range(1, max_chain + 1):
-                manager = _build(Path(scratch) / backend / f"d{depth}",
-                                 depth, rng, backend=backend)
-                with manager.stats.measure() as window:
-                    # The figure's region: the top half, overlapping the
-                    # two upper chunks.
-                    manager.select_region(ARRAY, depth, (0, 0), (9, 19))
-                rows.append({
-                    "backend": backend,
-                    "chain_depth": depth,
-                    "chunks_overlapping_query": 2,
-                    "chunks_read": window.chunks_read,
-                    "file_opens": window.file_opens,
-                })
-                manager.close()
+            for degree in workers_axis(workers):
+                rng = np.random.default_rng(2012)
+                for depth in range(1, max_chain + 1):
+                    manager = _build(
+                        Path(scratch) / backend / f"w{degree}-d{depth}",
+                        depth, rng, backend=backend, workers=degree)
+                    with manager.stats.measure() as window, \
+                            timed() as clock:
+                        # The figure's region: the top half, overlapping
+                        # the two upper chunks.
+                        manager.select_region(ARRAY, depth,
+                                              (0, 0), (9, 19))
+                    rows.append({
+                        "backend": backend,
+                        "workers": degree,
+                        "chain_depth": depth,
+                        "chunks_overlapping_query": 2,
+                        "chunks_read": window.chunks_read,
+                        "file_opens": window.file_opens,
+                        "select_seconds": clock.seconds,
+                    })
+                    manager.close()
 
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(rows, indent=2))
     if not quiet:
         print_table(
             "Figure 2: chunk reads for a 2-chunk region query vs chain "
             "depth (depth 3 = the paper's 6-chunk diagram)",
-            ["Backend", "Chain Depth", "Chunks In Region", "Chunks Read",
-             "File Opens"],
-            [[row["backend"], str(row["chain_depth"]),
+            ["Backend", "Workers", "Chain Depth", "Chunks In Region",
+             "Chunks Read", "File Opens"],
+            [[row["backend"], str(row["workers"]),
+              str(row["chain_depth"]),
               str(row["chunks_overlapping_query"]),
               str(row["chunks_read"]),
               str(row["file_opens"])] for row in rows])
@@ -87,4 +110,5 @@ def run(max_chain: int = 6, *, backends=None,
 
 
 if __name__ == "__main__":  # pragma: no cover
-    run(backends=("local", "memory"))
+    run(backends=("local", "memory"), workers=(1, 4),
+        json_path="BENCH_fig2.json")

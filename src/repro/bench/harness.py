@@ -27,6 +27,21 @@ def backend_axis(backends=None) -> tuple[str, ...]:
     return tuple(backends)
 
 
+def workers_axis(workers=None) -> tuple[int, ...]:
+    """Normalize an experiment's ``workers`` argument.
+
+    None means the serial default; an int names a single degree; any
+    iterable is swept in order — the workers analogue of
+    :func:`backend_axis`, for experiments comparing serial against
+    parallel decode.
+    """
+    if workers is None:
+        return (1,)
+    if isinstance(workers, int):
+        return (workers,)
+    return tuple(workers)
+
+
 def fmt_bytes(count: float) -> str:
     """Human-readable byte count (``1.53 GB`` style, as in the tables)."""
     value = float(count)

@@ -22,8 +22,10 @@ import argparse
 import sys
 
 from repro.bench.harness import fmt_bytes
+from repro.core.errors import StorageError
 from repro.query.engine import Database
-from repro.storage.backend import BACKEND_NAMES
+from repro.storage.backend import BACKEND_NAMES, parse_striped_spec
+from repro.storage.pipeline import resolve_workers
 
 
 def _cmd_list(db: Database, _args) -> int:
@@ -111,16 +113,54 @@ def _cmd_sql(db: Database, args) -> int:
     return 0
 
 
+def _backend_spec(text: str) -> str:
+    """argparse type for ``--backend``: validate the spec *before* the
+    store is opened (the ``ensure_policy`` pattern — a bad flag must
+    fail before any directory or catalog file is created)."""
+    if text in BACKEND_NAMES:
+        return text
+    if text.startswith("striped"):
+        try:
+            parse_striped_spec(text)
+        except StorageError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+        return text
+    raise argparse.ArgumentTypeError(
+        f"unknown backend {text!r}; expected one of {BACKEND_NAMES}"
+        " or 'striped:<n>[:memory]'")
+
+
+def _workers_count(text: str) -> int:
+    """argparse type for ``--workers``: delegates to the storage
+    layer's own validator so the CLI and the ``workers=`` kwarg can
+    never drift."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer, got {text!r}") from None
+    try:
+        return resolve_workers(value)
+    except StorageError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Inspect a versioned array store.")
     parser.add_argument("root", help="store root directory")
-    parser.add_argument("--backend", choices=BACKEND_NAMES,
+    parser.add_argument("--backend", type=_backend_spec,
                         default="local",
                         help="storage backend for chunk payloads"
                              " (default: local files; 'memory' starts"
-                             " an empty ephemeral store)")
+                             " an empty ephemeral store;"
+                             " 'striped:<n>[:memory]' stripes objects"
+                             " over n child backends)")
+    parser.add_argument("--workers", type=_workers_count, default=None,
+                        help="parallel chunk reconstruction degree"
+                             " (default: the REPRO_WORKERS environment"
+                             " variable, else serial)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list").set_defaults(func=_cmd_list)
@@ -150,7 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    with Database(args.root, backend=args.backend) as db:
+    with Database(args.root, backend=args.backend,
+                  workers=args.workers) as db:
         return args.func(db, args)
 
 

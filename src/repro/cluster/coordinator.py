@@ -17,6 +17,8 @@ states — and reassembles query results.  All single-node semantics
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
@@ -28,6 +30,7 @@ from repro.core.schema import ArraySchema, Attribute, Dimension
 from repro.storage.backend import StorageBackend
 from repro.storage.iostats import IOStats
 from repro.storage.manager import VersionedStorageManager
+from repro.storage.pipeline import resolve_workers
 
 
 class ClusterCoordinator:
@@ -39,22 +42,34 @@ class ClusterCoordinator:
     all-in-memory cluster (``backend="memory"``) simulates multi-node
     behaviour with zero disk I/O.  A ready backend instance is rejected
     because the nodes must not share state.
+
+    ``workers`` is per-node parallelism: each node's manager fans its
+    chunk reconstructions across its own executor, and region selects
+    additionally query the overlapping nodes concurrently (the nodes
+    are fully independent storage systems, so node-level fan-out needs
+    no extra locking).
     """
 
     def __init__(self, root: str | Path, nodes: int = 4, *,
-                 partition_axis: int = 0, backend=None, **manager_kwargs):
+                 partition_axis: int = 0, backend=None,
+                 workers: int | None = None, **manager_kwargs):
         if nodes < 1:
             raise StorageError("a cluster needs at least one node")
         if isinstance(backend, StorageBackend):
             raise StorageError(
                 "a cluster needs one backend per node; pass a backend"
                 " name or factory, not a shared instance")
+        self.workers = resolve_workers(workers)
         self.root = Path(root)
         self.nodes = nodes
         self.partition_axis = partition_axis
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
         self.managers = [
             VersionedStorageManager(self.root / f"node{index}",
-                                    backend=backend, **manager_kwargs)
+                                    backend=backend,
+                                    workers=self.workers,
+                                    **manager_kwargs)
             for index in range(nodes)
         ]
         self._partitioners: dict[str, RangePartitioner] = {}
@@ -144,10 +159,19 @@ class ClusterCoordinator:
             attr.name: np.empty(region_shape, dtype=attr.dtype)
             for attr in schema.attributes
         }
-        for band in partitioner.bands_overlapping(lo, hi):
+
+        def fetch(band):
             local_lo, local_hi = partitioner.clip_region(band, lo, hi)
-            part = self.managers[band.node].select_region(
+            return self.managers[band.node].select_region(
                 name, version, local_lo, local_hi)
+
+        bands = list(partitioner.bands_overlapping(lo, hi))
+        if self.workers > 1 and len(bands) > 1:
+            parts = list(self._pool().map(fetch, bands))
+        else:
+            parts = [fetch(band) for band in bands]
+
+        for band, part in zip(bands, parts):
             dest_lo = max(lo[axis], band.lo) - lo[axis]
             dest_hi = min(hi[axis], band.hi) - lo[axis]
             index = tuple(
@@ -185,7 +209,22 @@ class ClusterCoordinator:
         """Per-node I/O counters (routing tests use these)."""
         return [manager.stats for manager in self.managers]
 
+    def _pool(self) -> ThreadPoolExecutor:
+        """One lazily-created node fan-out executor per coordinator,
+        reused across queries (a fresh pool per select would put
+        thread spawn/join on the hot query path)."""
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(self.workers, self.nodes),
+                    thread_name_prefix="repro-cluster")
+            return self._executor
+
     def close(self) -> None:
+        with self._executor_lock:
+            pool, self._executor = self._executor, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         for manager in self.managers:
             manager.close()
 

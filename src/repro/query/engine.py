@@ -35,7 +35,8 @@ class Database:
                  placement: str = "colocated",
                  backend: str | None = None,
                  cache_chunks: int = 0,
-                 cache_bytes: int = 0):
+                 cache_bytes: int = 0,
+                 workers: int | None = None):
         self.manager = VersionedStorageManager(
             root,
             chunk_bytes=chunk_bytes,
@@ -45,7 +46,8 @@ class Database:
             placement=placement,
             backend=backend,
             cache_chunks=cache_chunks,
-            cache_bytes=cache_bytes)
+            cache_bytes=cache_bytes,
+            workers=workers)
         self.processor = QueryProcessor(self.manager)
         self.executor = AQLExecutor(self.manager, base_path=Path(root))
 

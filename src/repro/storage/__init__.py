@@ -12,6 +12,8 @@ from repro.storage.backend import (
     InMemoryBackend,
     LocalFileBackend,
     StorageBackend,
+    StripedBackend,
+    parse_striped_spec,
     resolve_backend,
 )
 from repro.storage.chunking import (
@@ -65,8 +67,10 @@ __all__ = [
     "POLICY_CHAIN",
     "POLICY_MATERIALIZE",
     "StorageBackend",
+    "StripedBackend",
     "VersionRecord",
     "VersionedStorageManager",
+    "parse_striped_spec",
     "resolve_backend",
     "stride_for",
 ]

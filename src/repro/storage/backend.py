@@ -8,17 +8,24 @@ keyed byte-container contract (write / append / read / read_many /
 delete) that lets new substrates (memory, sharded stores, eventually
 object storage) drop in without touching encoding semantics.
 
-Two implementations ship today:
+Three implementations ship today:
 
 * :class:`LocalFileBackend` — the paper's local filesystem, one object
   per file under a root directory;
 * :class:`InMemoryBackend` — a zero-I/O dict-of-buffers backend for
-  tests, benchmarks, and all-in-memory cluster simulation.
+  tests, benchmarks, and all-in-memory cluster simulation;
+* :class:`StripedBackend` — spreads objects over N child backends by a
+  deterministic hash of the object path, so independent chunk chains
+  land on independent substrates and parallel readers do not contend
+  on one device.
 
-``read_many`` is the performance-critical addition: a co-located delta
-chain lives at many ``(offset, length)`` spans of *one* object, and the
-batched read resolves the whole chain with a single open + seek pass
-instead of one ``open()`` per payload.
+``read_many`` is the performance-critical batched read: a co-located
+delta chain lives at many ``(offset, length)`` spans of *one* object,
+and the batched read resolves the whole chain with a single open + seek
+pass instead of one ``open()`` per payload.  ``max_workers`` adds a
+parallel fan-out path — spans are sharded across a thread pool, each
+worker serving its shard from its own handle — for deep chains on
+substrates that profit from request concurrency.
 
 Paths are backend-relative strings with ``/`` separators (the same
 strings the metadata catalog records in chunk locations), so a store
@@ -28,13 +35,18 @@ written by one backend can be described identically by another.
 from __future__ import annotations
 
 import shutil
+import threading
+import zlib
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.core.errors import StorageError
 
 #: Names accepted by :func:`resolve_backend` (and the CLI / bench axis).
+#: ``striped:<n>`` and ``striped:<n>:memory`` specs are also accepted —
+#: see :func:`parse_striped_spec`.
 BACKEND_NAMES = ("local", "memory")
 
 #: A backend spec: a registry name, a ready instance, or a factory
@@ -73,12 +85,16 @@ class StorageBackend(ABC):
 
     @abstractmethod
     def read_many(self, path: str,
-                  spans: Sequence[tuple[int, int]]) -> list[bytes]:
+                  spans: Sequence[tuple[int, int]], *,
+                  max_workers: int = 0) -> list[bytes]:
         """Read several ``(offset, length)`` spans of one object.
 
         The whole batch is served from a single open of ``path`` — this
         is what turns a co-located delta chain into one open + seek
-        pass.  Results are returned in span order.
+        pass.  ``max_workers`` > 1 shards the spans across a thread
+        pool (each worker serves its shard from its own handle); the
+        serial and parallel paths return identical payloads, in span
+        order.
         """
 
     @abstractmethod
@@ -88,6 +104,62 @@ class StorageBackend(ABC):
     @abstractmethod
     def total_bytes(self, prefix: str = "") -> int:
         """Stored bytes under ``prefix`` (the whole backend when '')."""
+
+    def close(self) -> None:
+        """Release auxiliary resources (idempotent).
+
+        Shuts down the lazily-created span-read executor; a later
+        parallel read simply recreates it, so a backend instance stays
+        usable after close.  The pool is detached under the guard but
+        drained outside it, so closing one backend never stalls other
+        backends' reads on the shared creation lock.
+        """
+        with _span_pool_guard:
+            pool = getattr(self, "_span_executor", None)
+            self._span_executor = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+_span_pool_guard = threading.Lock()
+
+
+def _span_pool(backend: "StorageBackend",
+               max_workers: int) -> ThreadPoolExecutor:
+    """One lazily-created span-read executor per backend instance.
+
+    Reused across every ``read_many`` call (a fresh pool per read would
+    put thread spawn/join on the hot chain-read path).  Sized at first
+    use; later calls asking for more workers still run correctly, just
+    at the original concurrency.  :meth:`StorageBackend.close` (called
+    from the manager's close) shuts the pool down.
+    """
+    with _span_pool_guard:
+        pool = getattr(backend, "_span_executor", None)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix=f"repro-{backend.name}-span")
+            backend._span_executor = pool
+        return pool
+
+
+def _fan_out_spans(backend: "StorageBackend",
+                   spans: Sequence[tuple[int, int]], max_workers: int,
+                   read_shard) -> list[bytes]:
+    """Shard ``spans`` into contiguous blocks read concurrently.
+
+    ``read_shard`` maps one block of spans to its payloads; blocks are
+    reassembled in span order, so the result is indistinguishable from
+    a serial pass.
+    """
+    shards = min(max_workers, len(spans))
+    step = -(-len(spans) // shards)  # ceil division
+    blocks = [spans[i:i + step] for i in range(0, len(spans), step)]
+    pool = _span_pool(backend, max_workers)
+    return [payload
+            for block in pool.map(read_shard, blocks)
+            for payload in block]
 
 
 class LocalFileBackend(StorageBackend):
@@ -120,8 +192,17 @@ class LocalFileBackend(StorageBackend):
         return self.read_many(path, [(offset, length)])[0]
 
     def read_many(self, path: str,
-                  spans: Sequence[tuple[int, int]]) -> list[bytes]:
+                  spans: Sequence[tuple[int, int]], *,
+                  max_workers: int = 0) -> list[bytes]:
         target = self._resolve(path)
+        if max_workers > 1 and len(spans) > 1:
+            return _fan_out_spans(
+                self, list(spans), max_workers,
+                lambda shard: self._read_spans(target, shard))
+        return self._read_spans(target, spans)
+
+    def _read_spans(self, target: Path,
+                    spans: Sequence[tuple[int, int]]) -> list[bytes]:
         try:
             with open(target, "rb") as handle:
                 payloads = []
@@ -180,10 +261,19 @@ class InMemoryBackend(StorageBackend):
         return self.read_many(path, [(offset, length)])[0]
 
     def read_many(self, path: str,
-                  spans: Sequence[tuple[int, int]]) -> list[bytes]:
+                  spans: Sequence[tuple[int, int]], *,
+                  max_workers: int = 0) -> list[bytes]:
         buffer = self._objects.get(path)
         if buffer is None:
             raise StorageError(f"missing chunk file {path}")
+        if max_workers > 1 and len(spans) > 1:
+            return _fan_out_spans(
+                self, list(spans), max_workers,
+                lambda shard: self._read_spans(path, buffer, shard))
+        return self._read_spans(path, buffer, spans)
+
+    def _read_spans(self, path: str, buffer: bytearray,
+                    spans: Sequence[tuple[int, int]]) -> list[bytes]:
         payloads = []
         for offset, length in spans:
             payload = bytes(buffer[offset:offset + length])
@@ -209,18 +299,112 @@ class InMemoryBackend(StorageBackend):
                    if key == prefix or key.startswith(subtree))
 
 
+class StripedBackend(StorageBackend):
+    """Spread objects over N child backends by hashing the object path.
+
+    One array's chunk objects scatter across the children (CRC-32 of
+    the path, stable across processes), so independent chains live on
+    independent substrates and a parallel decode fans its reads over
+    all stripes.  A co-located chain is one object and therefore never
+    splits across stripes — the batched chain read keeps its single
+    open + seek pass on whichever child owns the object.
+
+    ``delete`` and ``total_bytes`` take *prefixes* that may cover
+    objects on every stripe, so they fan to all children.
+    """
+
+    name = "striped"
+
+    def __init__(self, children: Sequence[StorageBackend]):
+        children = list(children)
+        if not children:
+            raise StorageError("a striped backend needs at least one child")
+        self.children = children
+        self.ephemeral = all(child.ephemeral for child in children)
+
+    def child_for(self, path: str) -> StorageBackend:
+        """The stripe owning ``path`` (deterministic across processes)."""
+        digest = zlib.crc32(path.encode("utf-8"))
+        return self.children[digest % len(self.children)]
+
+    def write(self, path: str, payload: bytes) -> None:
+        self.child_for(path).write(path, payload)
+
+    def append(self, path: str, payload: bytes) -> int:
+        return self.child_for(path).append(path, payload)
+
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        return self.child_for(path).read(path, offset, length)
+
+    def read_many(self, path: str,
+                  spans: Sequence[tuple[int, int]], *,
+                  max_workers: int = 0) -> list[bytes]:
+        return self.child_for(path).read_many(path, spans,
+                                              max_workers=max_workers)
+
+    def delete(self, prefix: str) -> None:
+        for child in self.children:
+            child.delete(prefix)
+
+    def total_bytes(self, prefix: str = "") -> int:
+        return sum(child.total_bytes(prefix) for child in self.children)
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()
+        super().close()
+
+
+def parse_striped_spec(spec: str) -> tuple[int, str]:
+    """Validate a ``striped:<n>[:<child>]`` spec string.
+
+    Returns ``(stripes, child_name)``; raises :class:`StorageError` on
+    malformed specs so callers can validate configuration before any
+    side effect (the CLI's validate-before-side-effects rule).
+    """
+    parts = spec.split(":")
+    if parts[0] != "striped" or len(parts) not in (2, 3):
+        raise StorageError(
+            f"malformed striped backend spec {spec!r}; expected"
+            " 'striped:<n>' or 'striped:<n>:<child>'")
+    try:
+        stripes = int(parts[1])
+    except ValueError:
+        raise StorageError(
+            f"striped backend spec {spec!r} needs an integer stripe"
+            " count") from None
+    if stripes < 1:
+        raise StorageError(
+            f"striped backend spec {spec!r} needs at least one stripe")
+    child = parts[2] if len(parts) == 3 else "local"
+    if child not in BACKEND_NAMES:
+        raise StorageError(
+            f"striped backend spec {spec!r} names unknown child backend"
+            f" {child!r}; expected one of {BACKEND_NAMES}")
+    return stripes, child
+
+
 def resolve_backend(spec, root: str | Path) -> StorageBackend:
     """Turn a backend spec into a concrete backend instance.
 
     ``spec`` may be None (default: local files under ``root``), one of
-    :data:`BACKEND_NAMES`, a ready :class:`StorageBackend`, or a factory
-    callable invoked with ``root`` — the factory form is what lets a
-    cluster coordinator construct one independent backend per node.
+    :data:`BACKEND_NAMES`, a ``striped:<n>[:<child>]`` spec (N stripes
+    under ``root/stripe<i>``, or N in-memory stripes), a ready
+    :class:`StorageBackend`, or a factory callable invoked with
+    ``root`` — the factory form is what lets a cluster coordinator
+    construct one independent backend per node.
     """
     if spec is None or spec == "local":
         return LocalFileBackend(root)
     if spec == "memory":
         return InMemoryBackend()
+    if isinstance(spec, str) and spec.startswith("striped"):
+        stripes, child = parse_striped_spec(spec)
+        if child == "memory":
+            return StripedBackend([InMemoryBackend()
+                                   for _ in range(stripes)])
+        return StripedBackend([LocalFileBackend(Path(root) / f"stripe{i}")
+                               for i in range(stripes)])
     if isinstance(spec, StorageBackend):
         return spec
     if callable(spec):

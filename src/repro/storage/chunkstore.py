@@ -54,13 +54,17 @@ class ChunkStore:
     def __init__(self, root: str | os.PathLike,
                  placement: str = COLOCATED,
                  stats: IOStats | None = None,
-                 backend: "StorageBackend | str | None" = None):
+                 backend: "StorageBackend | str | None" = None,
+                 max_workers: int = 0):
         if placement not in _PLACEMENTS:
             raise StorageError(
                 f"unknown placement {placement!r}; expected {_PLACEMENTS}")
         self.placement = placement
         self.stats = stats if stats is not None else IOStats()
         self.backend = resolve_backend(backend, Path(root))
+        #: Span-level read parallelism handed to the backend's
+        #: ``read_many`` fan-out path (0/1 = serial).
+        self.max_workers = max_workers
 
     def _chunk_path(self, array: str, version: int, attribute: str,
                     chunk_name: str) -> str:
@@ -102,7 +106,10 @@ class ChunkStore:
         This is the chain-read fast path: a co-located delta chain's
         payloads share one object, so the whole chain costs a single
         open + seek pass (``file_opens`` in :class:`IOStats` counts the
-        difference).  Payloads are returned in ``locations`` order.
+        difference).  ``max_workers`` > 1 additionally shards each
+        object's spans across the backend's thread-pool fan-out; the
+        accounting is unchanged — one logical open per distinct object.
+        Payloads are returned in ``locations`` order.
         """
         by_path: dict[str, list[int]] = {}
         for index, location in enumerate(locations):
@@ -114,7 +121,9 @@ class ChunkStore:
                      for i in indexes]
             self.stats.record_open()
             for i, payload in zip(indexes,
-                                  self.backend.read_many(path, spans)):
+                                  self.backend.read_many(
+                                      path, spans,
+                                      max_workers=self.max_workers)):
                 self.stats.record_read(len(payload))
                 payloads[i] = payload
         return payloads  # type: ignore[return-value]

@@ -8,15 +8,25 @@ time.  Every read and write the chunk store performs is recorded here so
 benchmarks can report the same columns as the paper.
 
 Beyond the paper's counters, :class:`IOStats` tracks ``file_opens`` —
-how many object handles the backend opened — which is what the batched
-chain read (:meth:`~repro.storage.chunkstore.ChunkStore.read_chunks`)
-improves: a co-located chain of *k* payloads is one open, not *k* —
-and the chunk-cache hit/miss counters, so cache effectiveness shows up
-in the same report as the I/O it avoided.
+how many *distinct objects* the store accessed (logical opens) — which
+is what the batched chain read
+(:meth:`~repro.storage.chunkstore.ChunkStore.read_chunks`) improves: a
+co-located chain of *k* payloads is one object access, not *k* — and
+the chunk-cache hit/miss counters, so cache effectiveness shows up in
+the same report as the I/O it avoided.  The counter is deliberately
+logical: when the backend's parallel span fan-out shards one object's
+reads over several worker handles, that remains *one* open here, so
+the chain-depth invariants stay comparable across workers settings.
+
+The counters are lock-protected: parallel chain reads (the decode
+pipeline's per-chunk fan-out) hammer one shared instance from many
+threads, and benchmark invariants like "file opens stay constant in
+chain depth" only hold if no increment is ever lost.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
 
@@ -33,37 +43,50 @@ class IOStats:
     cache_hits: int = 0
     cache_misses: int = 0
 
+    def __post_init__(self):
+        # Not a dataclass field, so reset/snapshot/delta_since (which
+        # iterate ``fields``) keep seeing counters only.
+        self._lock = threading.Lock()
+
     def record_read(self, nbytes: int) -> None:
         """Account one chunk read of ``nbytes``."""
-        self.bytes_read += nbytes
-        self.chunks_read += 1
+        with self._lock:
+            self.bytes_read += nbytes
+            self.chunks_read += 1
 
     def record_write(self, nbytes: int) -> None:
         """Account one chunk write of ``nbytes``."""
-        self.bytes_written += nbytes
-        self.chunks_written += 1
+        with self._lock:
+            self.bytes_written += nbytes
+            self.chunks_written += 1
 
     def record_open(self, count: int = 1) -> None:
-        """Account ``count`` object-handle opens in the backend."""
-        self.file_opens += count
+        """Account ``count`` logical object opens (distinct objects
+        accessed; parallel span shards of one object count once)."""
+        with self._lock:
+            self.file_opens += count
 
     def record_cache_hit(self) -> None:
         """Account one chunk-cache hit (a read the cache absorbed)."""
-        self.cache_hits += 1
+        with self._lock:
+            self.cache_hits += 1
 
     def record_cache_miss(self) -> None:
         """Account one chunk-cache miss."""
-        self.cache_misses += 1
+        with self._lock:
+            self.cache_misses += 1
 
     def reset(self) -> None:
         """Zero all counters."""
-        for field in fields(self):
-            setattr(self, field.name, 0)
+        with self._lock:
+            for field in fields(self):
+                setattr(self, field.name, 0)
 
     def snapshot(self) -> "IOStats":
-        """An immutable copy of the current counters."""
-        return IOStats(**{field.name: getattr(self, field.name)
-                          for field in fields(self)})
+        """A consistent copy of the current counters."""
+        with self._lock:
+            return IOStats(**{field.name: getattr(self, field.name)
+                              for field in fields(self)})
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
         """Counter increments since an earlier snapshot."""

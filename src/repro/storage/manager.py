@@ -51,6 +51,7 @@ from repro.storage.pipeline import (
     EncodePipeline,
     ensure_policy,
     overlap_slices as _overlap_slices,
+    resolve_workers,
 )
 
 __all__ = [
@@ -73,17 +74,21 @@ class VersionedStorageManager:
                  catalog_in_memory: bool = False,
                  cache_chunks: int = 0,
                  cache_bytes: int = 0,
-                 backend: "StorageBackend | str | None" = None):
+                 backend: "StorageBackend | str | None" = None,
+                 workers: int | None = None,
+                 prefetch: bool = True):
         # Validate configuration before creating any durable state
         # (directories, catalog files, backend objects).
         ensure_policy(delta_policy)
+        self.workers = resolve_workers(workers)
         self.root = Path(root)
         backend = resolve_backend(backend, self.root / "data")
         if not backend.ephemeral:
             self.root.mkdir(parents=True, exist_ok=True)
         self.stats = IOStats()
         self.store = ChunkStore(self.root / "data", placement=placement,
-                                stats=self.stats, backend=backend)
+                                stats=self.stats, backend=backend,
+                                max_workers=self.workers)
         # An ephemeral backend keeps the catalog off disk too, so a
         # memory-backed store performs zero file I/O end to end.
         catalog_path = None if catalog_in_memory or backend.ephemeral \
@@ -104,7 +109,9 @@ class VersionedStorageManager:
                                       delta_codec=delta_codec,
                                       cache=self.cache)
         self.decoder = DecodePipeline(self.catalog, self.store,
-                                      cache=self.cache)
+                                      cache=self.cache,
+                                      workers=self.workers,
+                                      prefetch=prefetch)
 
     @property
     def backend(self) -> StorageBackend:
@@ -132,7 +139,10 @@ class VersionedStorageManager:
         return self.cache.info()
 
     def close(self) -> None:
-        """Release the catalog connection and drop cached chunks."""
+        """Release the catalog connection, the decode and span-read
+        executors, and cached chunks."""
+        self.decoder.close()
+        self.store.backend.close()
         self.cache.clear()
         self.catalog.close()
 
@@ -199,7 +209,15 @@ class VersionedStorageManager:
         self.catalog.add_version(record.array_id, version, parent,
                                  kind="insert",
                                  timestamp=timestamp or self._now())
-        self._write_version(record, version, data, base_version=parent)
+        try:
+            self._write_version(record, version, data,
+                                base_version=parent)
+        except BaseException:
+            # The chunk rows commit atomically (put_chunks), so a
+            # mid-write failure left zero of them; roll the version
+            # row back too and no partial version remains.
+            self.catalog.delete_version(record.array_id, version)
+            raise
         return version
 
     def branch(self, source_name: str, source_version: int,
@@ -220,10 +238,17 @@ class VersionedStorageManager:
             parent_array=source_name,
             parent_version=source_version,
             chunk_shape=source.chunk_shape)
-        self.catalog.add_version(branch_record.array_id, 1, None,
-                                 kind="branch-root",
-                                 timestamp=timestamp or self._now())
-        self._write_version(branch_record, 1, contents, base_version=None)
+        try:
+            self.catalog.add_version(branch_record.array_id, 1, None,
+                                     kind="branch-root",
+                                     timestamp=timestamp or self._now())
+            self._write_version(branch_record, 1, contents,
+                                base_version=None)
+        except BaseException:
+            # The branch is unusable without its root version; undo
+            # the whole array so no partial branch remains.
+            self.delete_array(new_name)
+            raise
         return branch_record
 
     def merge(self, parents: list[tuple[str, int]], new_name: str,
@@ -250,17 +275,24 @@ class VersionedStorageManager:
             chunk_bytes=first_array.chunk_bytes,
             compressor=first_array.compressor,
             chunk_shape=first_array.chunk_shape)
-        for sequence, (parent_name, parent_version) in enumerate(parents, 1):
-            contents = self.select(parent_name, parent_version)
-            self.catalog.add_version(
-                merged.array_id, sequence,
-                sequence - 1 if sequence > 1 else None,
-                kind="merge",
-                timestamp=timestamp or self._now(),
-                merge_parents=[(parent_name, parent_version)])
-            self._write_version(merged, sequence, contents,
-                                base_version=sequence - 1
-                                if sequence > 1 else None)
+        try:
+            for sequence, (parent_name, parent_version) in \
+                    enumerate(parents, 1):
+                contents = self.select(parent_name, parent_version)
+                self.catalog.add_version(
+                    merged.array_id, sequence,
+                    sequence - 1 if sequence > 1 else None,
+                    kind="merge",
+                    timestamp=timestamp or self._now(),
+                    merge_parents=[(parent_name, parent_version)])
+                self._write_version(merged, sequence, contents,
+                                    base_version=sequence - 1
+                                    if sequence > 1 else None)
+        except BaseException:
+            # A merge is all-or-nothing: drop the half-replayed array
+            # rather than leave a partial version sequence behind.
+            self.delete_array(new_name)
+            raise
         return merged
 
     def delete_version(self, name: str, version: int) -> None:

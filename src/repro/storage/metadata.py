@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -133,17 +134,37 @@ class ChunkRecord:
 
 
 class MetadataCatalog:
-    """SQLite-backed version metadata."""
+    """SQLite-backed version metadata.
+
+    One connection is shared by every caller — including the decode
+    pipeline's worker threads, which locate delta chains concurrently —
+    so the connection is opened with ``check_same_thread=False`` and
+    every statement runs under an internal re-entrant lock.  Multi-row
+    writes (:meth:`put_chunks`) use an explicit ``BEGIN``/``COMMIT`` so
+    a version's chunk records land atomically.
+    """
 
     def __init__(self, path: str | Path | None = None):
         """``path`` of None keeps the catalog in memory (tests)."""
-        self._conn = sqlite3.connect(str(path) if path else ":memory:")
+        self._conn = sqlite3.connect(str(path) if path else ":memory:",
+                                     check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
         self._conn.executescript(_SCHEMA_SQL)
         self._conn.commit()
 
+    def _query_one(self, sql: str, params: tuple = ()) -> sqlite3.Row:
+        with self._lock:
+            return self._conn.execute(sql, params).fetchone()
+
+    def _query_all(self, sql: str,
+                   params: tuple = ()) -> list[sqlite3.Row]:
+        with self._lock:
+            return self._conn.execute(sql, params).fetchall()
+
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     # ------------------------------------------------------------------
     # Arrays
@@ -156,50 +177,53 @@ class MetadataCatalog:
                      chunk_shape: tuple[int, ...] | None = None
                      ) -> ArrayRecord:
         """Register a new array; names are unique."""
-        try:
-            cursor = self._conn.execute(
-                "INSERT INTO arrays (name, schema_json, chunk_bytes,"
-                " chunk_shape, compressor, created_at, parent_array,"
-                " parent_version) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                (name, json.dumps(schema.to_dict()), chunk_bytes,
-                 json.dumps(list(chunk_shape)) if chunk_shape else None,
-                 compressor, created_at, parent_array, parent_version))
-        except sqlite3.IntegrityError:
-            raise ArrayExistsError(f"array {name!r} already exists") from None
-        self._conn.commit()
-        return self.get_array_by_id(cursor.lastrowid)
+        with self._lock:
+            try:
+                cursor = self._conn.execute(
+                    "INSERT INTO arrays (name, schema_json, chunk_bytes,"
+                    " chunk_shape, compressor, created_at, parent_array,"
+                    " parent_version) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (name, json.dumps(schema.to_dict()), chunk_bytes,
+                     json.dumps(list(chunk_shape)) if chunk_shape else None,
+                     compressor, created_at, parent_array, parent_version))
+            except sqlite3.IntegrityError:
+                raise ArrayExistsError(
+                    f"array {name!r} already exists") from None
+            self._conn.commit()
+            return self.get_array_by_id(cursor.lastrowid)
 
     def get_array(self, name: str) -> ArrayRecord:
-        row = self._conn.execute(
-            "SELECT * FROM arrays WHERE name = ?", (name,)).fetchone()
+        row = self._query_one(
+            "SELECT * FROM arrays WHERE name = ?", (name,))
         if row is None:
             raise ArrayNotFoundError(f"no array named {name!r}")
         return self._array_from_row(row)
 
     def get_array_by_id(self, array_id: int) -> ArrayRecord:
-        row = self._conn.execute(
-            "SELECT * FROM arrays WHERE id = ?", (array_id,)).fetchone()
+        row = self._query_one(
+            "SELECT * FROM arrays WHERE id = ?", (array_id,))
         if row is None:
             raise ArrayNotFoundError(f"no array with id {array_id}")
         return self._array_from_row(row)
 
     def list_arrays(self) -> list[str]:
         """Section II-C's List operation."""
-        rows = self._conn.execute(
-            "SELECT name FROM arrays ORDER BY name").fetchall()
+        rows = self._query_all("SELECT name FROM arrays ORDER BY name")
         return [row["name"] for row in rows]
 
     def delete_array(self, name: str) -> None:
         record = self.get_array(name)
-        self._conn.execute("DELETE FROM chunks WHERE array_id = ?",
-                           (record.array_id,))
-        self._conn.execute("DELETE FROM versions WHERE array_id = ?",
-                           (record.array_id,))
-        self._conn.execute("DELETE FROM merge_parents WHERE array_id = ?",
-                           (record.array_id,))
-        self._conn.execute("DELETE FROM arrays WHERE id = ?",
-                           (record.array_id,))
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute("DELETE FROM chunks WHERE array_id = ?",
+                               (record.array_id,))
+            self._conn.execute("DELETE FROM versions WHERE array_id = ?",
+                               (record.array_id,))
+            self._conn.execute(
+                "DELETE FROM merge_parents WHERE array_id = ?",
+                (record.array_id,))
+            self._conn.execute("DELETE FROM arrays WHERE id = ?",
+                               (record.array_id,))
+            self._conn.commit()
 
     @staticmethod
     def _array_from_row(row: sqlite3.Row) -> ArrayRecord:
@@ -226,23 +250,24 @@ class MetadataCatalog:
                     timestamp: float,
                     merge_parents: list[tuple[str, int]] | None = None
                     ) -> VersionRecord:
-        self._conn.execute(
-            "INSERT INTO versions (array_id, version_num, parent_version,"
-            " kind, timestamp) VALUES (?, ?, ?, ?, ?)",
-            (array_id, version, parent_version, kind, timestamp))
-        for parent_array, parent_num in merge_parents or []:
+        with self._lock:
             self._conn.execute(
-                "INSERT INTO merge_parents (array_id, version_num,"
-                " parent_array, parent_version) VALUES (?, ?, ?, ?)",
-                (array_id, version, parent_array, parent_num))
-        self._conn.commit()
+                "INSERT INTO versions (array_id, version_num,"
+                " parent_version, kind, timestamp) VALUES (?, ?, ?, ?, ?)",
+                (array_id, version, parent_version, kind, timestamp))
+            for parent_array, parent_num in merge_parents or []:
+                self._conn.execute(
+                    "INSERT INTO merge_parents (array_id, version_num,"
+                    " parent_array, parent_version) VALUES (?, ?, ?, ?)",
+                    (array_id, version, parent_array, parent_num))
+            self._conn.commit()
         return VersionRecord(array_id, version, parent_version, kind,
                              timestamp)
 
     def get_version(self, array_id: int, version: int) -> VersionRecord:
-        row = self._conn.execute(
+        row = self._query_one(
             "SELECT * FROM versions WHERE array_id = ? AND version_num = ?",
-            (array_id, version)).fetchone()
+            (array_id, version))
         if row is None:
             raise VersionNotFoundError(
                 f"array {array_id} has no version {version}")
@@ -252,25 +277,25 @@ class MetadataCatalog:
 
     def get_versions(self, array_id: int) -> list[VersionRecord]:
         """Section II-C's Get Versions: ordered list of all versions."""
-        rows = self._conn.execute(
+        rows = self._query_all(
             "SELECT * FROM versions WHERE array_id = ?"
-            " ORDER BY version_num", (array_id,)).fetchall()
+            " ORDER BY version_num", (array_id,))
         return [VersionRecord(r["array_id"], r["version_num"],
                               r["parent_version"], r["kind"],
                               r["timestamp"]) for r in rows]
 
     def latest_version(self, array_id: int) -> int | None:
-        row = self._conn.execute(
+        row = self._query_one(
             "SELECT MAX(version_num) AS v FROM versions WHERE array_id = ?",
-            (array_id,)).fetchone()
+            (array_id,))
         return row["v"]
 
     def version_at(self, array_id: int, timestamp: float) -> int:
         """Latest version whose timestamp is <= the given time."""
-        row = self._conn.execute(
+        row = self._query_one(
             "SELECT MAX(version_num) AS v FROM versions"
             " WHERE array_id = ? AND timestamp <= ?",
-            (array_id, timestamp)).fetchone()
+            (array_id, timestamp))
         if row["v"] is None:
             raise VersionNotFoundError(
                 f"array {array_id} has no version at or before {timestamp}")
@@ -278,10 +303,10 @@ class MetadataCatalog:
 
     def merge_parents_of(self, array_id: int,
                          version: int) -> list[tuple[str, int]]:
-        rows = self._conn.execute(
+        rows = self._query_all(
             "SELECT parent_array, parent_version FROM merge_parents"
             " WHERE array_id = ? AND version_num = ?",
-            (array_id, version)).fetchall()
+            (array_id, version))
         return [(r["parent_array"], r["parent_version"]) for r in rows]
 
     # ------------------------------------------------------------------
@@ -291,17 +316,18 @@ class MetadataCatalog:
     def set_label(self, array_id: int, label: str, version: int) -> None:
         """Attach (or move) a named label to one version."""
         self.get_version(array_id, version)  # existence check
-        self._conn.execute(
-            "INSERT OR REPLACE INTO version_labels"
-            " (array_id, label, version_num) VALUES (?, ?, ?)",
-            (array_id, label, version))
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO version_labels"
+                " (array_id, label, version_num) VALUES (?, ?, ?)",
+                (array_id, label, version))
+            self._conn.commit()
 
     def version_for_label(self, array_id: int, label: str) -> int:
-        row = self._conn.execute(
+        row = self._query_one(
             "SELECT version_num FROM version_labels"
             " WHERE array_id = ? AND label = ?",
-            (array_id, label)).fetchone()
+            (array_id, label))
         if row is None:
             raise VersionNotFoundError(
                 f"array {array_id} has no label {label!r}")
@@ -311,70 +337,102 @@ class MetadataCatalog:
                   version: int | None = None) -> list[tuple[str, int]]:
         """All (label, version) pairs, optionally for one version."""
         if version is None:
-            rows = self._conn.execute(
+            rows = self._query_all(
                 "SELECT label, version_num FROM version_labels"
                 " WHERE array_id = ? ORDER BY label",
-                (array_id,)).fetchall()
+                (array_id,))
         else:
-            rows = self._conn.execute(
+            rows = self._query_all(
                 "SELECT label, version_num FROM version_labels"
                 " WHERE array_id = ? AND version_num = ? ORDER BY label",
-                (array_id, version)).fetchall()
+                (array_id, version))
         return [(r["label"], r["version_num"]) for r in rows]
 
     def drop_label(self, array_id: int, label: str) -> None:
-        self._conn.execute(
-            "DELETE FROM version_labels WHERE array_id = ? AND label = ?",
-            (array_id, label))
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM version_labels WHERE array_id = ?"
+                " AND label = ?", (array_id, label))
+            self._conn.commit()
 
     def reparent_versions(self, array_id: int, old_parent: int,
                           new_parent: int | None) -> None:
         """Relink the lineage of versions whose parent is being deleted."""
-        self._conn.execute(
-            "UPDATE versions SET parent_version = ?"
-            " WHERE array_id = ? AND parent_version = ?",
-            (new_parent, array_id, old_parent))
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "UPDATE versions SET parent_version = ?"
+                " WHERE array_id = ? AND parent_version = ?",
+                (new_parent, array_id, old_parent))
+            self._conn.commit()
 
     def delete_version(self, array_id: int, version: int) -> None:
         self.get_version(array_id, version)  # existence check
-        self._conn.execute(
-            "DELETE FROM version_labels WHERE array_id = ?"
-            " AND version_num = ?", (array_id, version))
-        self._conn.execute(
-            "DELETE FROM chunks WHERE array_id = ? AND version_num = ?",
-            (array_id, version))
-        self._conn.execute(
-            "DELETE FROM versions WHERE array_id = ? AND version_num = ?",
-            (array_id, version))
-        self._conn.execute(
-            "DELETE FROM merge_parents WHERE array_id = ?"
-            " AND version_num = ?", (array_id, version))
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM version_labels WHERE array_id = ?"
+                " AND version_num = ?", (array_id, version))
+            self._conn.execute(
+                "DELETE FROM chunks WHERE array_id = ?"
+                " AND version_num = ?", (array_id, version))
+            self._conn.execute(
+                "DELETE FROM versions WHERE array_id = ?"
+                " AND version_num = ?", (array_id, version))
+            self._conn.execute(
+                "DELETE FROM merge_parents WHERE array_id = ?"
+                " AND version_num = ?", (array_id, version))
+            self._conn.commit()
 
     # ------------------------------------------------------------------
     # Chunks
     # ------------------------------------------------------------------
+    _PUT_CHUNK_SQL = (
+        "INSERT OR REPLACE INTO chunks (array_id, version_num,"
+        " attribute, chunk_name, delta_codec, base_version,"
+        " compressor, path, offset, length)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)")
+
+    @staticmethod
+    def _chunk_row(record: ChunkRecord) -> tuple:
+        return (record.array_id, record.version, record.attribute,
+                record.chunk_name, record.delta_codec,
+                record.base_version, record.compressor,
+                record.location.path, record.location.offset,
+                record.location.length)
+
     def put_chunk(self, record: ChunkRecord) -> None:
         """Insert or replace one chunk encoding record."""
-        self._conn.execute(
-            "INSERT OR REPLACE INTO chunks (array_id, version_num,"
-            " attribute, chunk_name, delta_codec, base_version,"
-            " compressor, path, offset, length)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (record.array_id, record.version, record.attribute,
-             record.chunk_name, record.delta_codec, record.base_version,
-             record.compressor, record.location.path,
-             record.location.offset, record.location.length))
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(self._PUT_CHUNK_SQL,
+                               self._chunk_row(record))
+            self._conn.commit()
+
+    def put_chunks(self, records: list[ChunkRecord]) -> None:
+        """Insert or replace many chunk records in one transaction.
+
+        This is the write path's batching primitive: every chunk row of
+        a version commits atomically — observers see all of the
+        version's rows or none, and a failure rolls the whole batch
+        back (leaving zero rows, never a partial version).
+        """
+        if not records:
+            return
+        with self._lock:
+            try:
+                self._conn.execute("BEGIN")
+                self._conn.executemany(
+                    self._PUT_CHUNK_SQL,
+                    [self._chunk_row(record) for record in records])
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
 
     def get_chunk(self, array_id: int, version: int, attribute: str,
                   chunk_name: str) -> ChunkRecord:
-        row = self._conn.execute(
+        row = self._query_one(
             "SELECT * FROM chunks WHERE array_id = ? AND version_num = ?"
             " AND attribute = ? AND chunk_name = ?",
-            (array_id, version, attribute, chunk_name)).fetchone()
+            (array_id, version, attribute, chunk_name))
         if row is None:
             raise VersionNotFoundError(
                 f"no chunk record for array {array_id} v{version} "
@@ -383,39 +441,39 @@ class MetadataCatalog:
 
     def chunks_for_version(self, array_id: int,
                            version: int) -> list[ChunkRecord]:
-        rows = self._conn.execute(
+        rows = self._query_all(
             "SELECT * FROM chunks WHERE array_id = ? AND version_num = ?"
             " ORDER BY attribute, chunk_name",
-            (array_id, version)).fetchall()
+            (array_id, version))
         return [self._chunk_from_row(r) for r in rows]
 
     def all_chunks(self, array_id: int) -> list[ChunkRecord]:
-        rows = self._conn.execute(
+        rows = self._query_all(
             "SELECT * FROM chunks WHERE array_id = ?"
             " ORDER BY version_num, attribute, chunk_name",
-            (array_id,)).fetchall()
+            (array_id,))
         return [self._chunk_from_row(r) for r in rows]
 
     def dependents_of(self, array_id: int,
                       version: int) -> list[ChunkRecord]:
         """Chunk records delta-encoded against the given version."""
-        rows = self._conn.execute(
+        rows = self._query_all(
             "SELECT * FROM chunks WHERE array_id = ? AND base_version = ?",
-            (array_id, version)).fetchall()
+            (array_id, version))
         return [self._chunk_from_row(r) for r in rows]
 
     def stored_bytes(self, array_id: int,
                      version: int | None = None) -> int:
         """Total encoded payload bytes for one version (or the array)."""
         if version is None:
-            row = self._conn.execute(
+            row = self._query_one(
                 "SELECT COALESCE(SUM(length), 0) AS s FROM chunks"
-                " WHERE array_id = ?", (array_id,)).fetchone()
+                " WHERE array_id = ?", (array_id,))
         else:
-            row = self._conn.execute(
+            row = self._query_one(
                 "SELECT COALESCE(SUM(length), 0) AS s FROM chunks"
                 " WHERE array_id = ? AND version_num = ?",
-                (array_id, version)).fetchone()
+                (array_id, version))
         return row["s"]
 
     @staticmethod

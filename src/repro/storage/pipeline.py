@@ -26,7 +26,10 @@ bookkeeping, version lineage, and layout re-organization.
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -65,6 +68,30 @@ def ensure_policy(delta_policy: str) -> str:
     return delta_policy
 
 
+def resolve_workers(workers: int | None) -> int:
+    """Resolve a ``workers`` knob to a concrete parallelism degree.
+
+    ``None`` defers to the ``REPRO_WORKERS`` environment variable (the
+    CI matrix runs the suite under several degrees this way); 0 and 1
+    both mean the serial path.  Malformed or negative values are
+    rejected loudly — a misconfigured environment silently falling
+    back to serial would make a parallel CI cell test nothing — and,
+    like :func:`ensure_policy`, callers validate before creating
+    durable state.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "0")
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise StorageError(
+                f"REPRO_WORKERS must be an integer, got {raw!r}"
+            ) from None
+    if workers < 0:
+        raise StorageError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
 class ChunkCache:
     """Bytes-bounded LRU of decoded chunks, keyed by
     ``(array_id, version, attribute, chunk_name)``.
@@ -74,6 +101,13 @@ class ChunkCache:
     (:attr:`enabled`).  Hits and misses are mirrored into the attached
     :class:`IOStats` so cache effectiveness appears next to the I/O it
     avoided.
+
+    Every operation holds an internal lock: the decode pipeline's
+    parallel per-chunk fan-out shares one cache across threads, and the
+    byte accounting and hit/miss counters must stay exact under
+    concurrency.  A single entry larger than ``max_bytes`` is never
+    admitted (admitting it would evict the entire cache, itself
+    included); rejections are counted and reported by :meth:`info`.
     """
 
     def __init__(self, max_entries: int = 0, max_bytes: int = 0,
@@ -83,35 +117,63 @@ class ChunkCache:
         self.stats = stats
         self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._bytes = 0
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.oversized = 0
 
     @property
     def enabled(self) -> bool:
         return self.max_entries > 0 or self.max_bytes > 0
 
     def get(self, key: tuple) -> np.ndarray | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            if self.stats is not None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if self.stats is not None:
+            if entry is None:
                 self.stats.record_cache_miss()
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+            else:
+                self.stats.record_cache_hit()
+        return entry
+
+    def peek(self, key: tuple) -> np.ndarray | None:
+        """Speculative probe (the chain walk's per-level lookup).
+
+        A hit counts — it terminated a walk and saved real I/O — but a
+        miss is not recorded: probing ancestors is not a logical chunk
+        request, and counting it would inflate the miss rate by chain
+        depth on every cold read.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
         if self.stats is not None:
             self.stats.record_cache_hit()
         return entry
 
     def put(self, key: tuple, data: np.ndarray) -> None:
-        stale = self._entries.pop(key, None)
-        if stale is not None:
-            self._bytes -= stale.nbytes
-        self._entries[key] = data
-        self._bytes += data.nbytes
-        while self._entries and self._over_budget():
-            _, evicted = self._entries.popitem(last=False)
-            self._bytes -= evicted.nbytes
+        with self._lock:
+            stale = self._entries.pop(key, None)
+            if stale is not None:
+                self._bytes -= stale.nbytes
+            if 0 < self.max_bytes < data.nbytes:
+                # Admission control: an oversized entry would evict
+                # everything else and then itself.  Keep it out.
+                self.oversized += 1
+                return
+            self._entries[key] = data
+            self._bytes += data.nbytes
+            while self._entries and self._over_budget():
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
 
     def _over_budget(self) -> bool:
         return (0 < self.max_entries < len(self._entries)) or \
@@ -119,24 +181,28 @@ class ChunkCache:
 
     def invalidate_array(self, array_id: int) -> None:
         """Drop cached chunks of one array after any re-encoding."""
-        stale = [key for key in self._entries if key[0] == array_id]
-        for key in stale:
-            self._bytes -= self._entries.pop(key).nbytes
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == array_id]
+            for key in stale:
+                self._bytes -= self._entries.pop(key).nbytes
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def info(self) -> dict:
-        """Budgets, occupancy, and hit/miss counters."""
-        return {
-            "capacity": self.max_entries,
-            "max_bytes": self.max_bytes,
-            "entries": len(self._entries),
-            "bytes": self._bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        """Budgets, occupancy, hit/miss, and admission counters."""
+        with self._lock:
+            return {
+                "capacity": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "oversized": self.oversized,
+            }
 
 
 class EncodePipeline:
@@ -175,16 +241,27 @@ class EncodePipeline:
                       base_data: ArrayData | None,
                       base_version: int | None,
                       replace: bool = False) -> None:
-        """Encode and persist every chunk of one version."""
-        if self.cache.enabled:
-            self.cache.invalidate_array(record.array_id)
+        """Encode and persist every chunk of one version.
+
+        The version's catalog rows are committed in **one** transaction
+        (:meth:`MetadataCatalog.put_chunks`) after every payload is
+        placed, so a mid-write failure leaves zero chunk rows in the
+        catalog — never a partially-described version.  (Orphaned
+        payload bytes in co-located objects are reclaimed by the next
+        repack.)
+        """
+        # Validate before any side effect: a rejected overwrite must
+        # not invalidate a perfectly good cache.
         if not replace:
             existing = self.catalog.chunks_for_version(record.array_id,
                                                        version)
             if existing:
                 raise NoOverwriteError(
                     f"version {version} of {record.name!r} already exists")
+        if self.cache.enabled:
+            self.cache.invalidate_array(record.array_id)
         compressor = get_codec(record.compressor)
+        records: list[ChunkRecord] = []
         for attr in record.schema.attributes:
             target_full = data.attribute(attr.name)
             base_full = base_data.attribute(attr.name) \
@@ -197,7 +274,7 @@ class EncodePipeline:
                 location = self.store.write_chunk(
                     record.name, version, attr.name, chunk.name,
                     decision.payload)
-                self.catalog.put_chunk(ChunkRecord(
+                records.append(ChunkRecord(
                     array_id=record.array_id,
                     version=version,
                     attribute=attr.name,
@@ -208,17 +285,62 @@ class EncodePipeline:
                     compressor=record.compressor,
                     location=location,
                 ))
+        self.catalog.put_chunks(records)
 
 
 class DecodePipeline:
     """The select path: locate → read chain → decompress → delta-decode
-    → assemble (Figure 1, right; Figure 2's read pattern)."""
+    → assemble (Figure 1, right; Figure 2's read pattern).
+
+    Per-chunk reconstruction is independent (each chunk walks its own
+    delta chain with its own scope), so :meth:`read_version` and
+    :meth:`read_region` fan chunks across a shared thread-pool executor
+    when ``workers`` > 1.  Assembly stays deterministic: every chunk
+    writes a disjoint region of the output canvas, so the result is
+    byte-identical to the serial pass regardless of completion order.
+
+    ``prefetch`` is the chain-aware cache policy: the first miss on a
+    chunk decodes its whole delta chain anyway, so every intermediate
+    version resolved along the walk is admitted to the cache in the
+    same pass (deepest first, requested version most-recently-used)
+    instead of re-walking the chain once per version later.
+    """
 
     def __init__(self, catalog: MetadataCatalog, store: ChunkStore, *,
-                 cache: ChunkCache | None = None):
+                 cache: ChunkCache | None = None,
+                 workers: int = 0,
+                 prefetch: bool = True):
         self.catalog = catalog
         self.store = store
         self.cache = cache if cache is not None else ChunkCache()
+        self.workers = workers
+        self.prefetch = prefetch
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Shut down the shared executor (idempotent)."""
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def _pool(self, workers: int) -> ThreadPoolExecutor:
+        """The shared executor, created lazily at first parallel read.
+
+        Sized at creation; a later call asking for more workers than
+        the pool holds still runs correctly, just with the original
+        concurrency.
+        """
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(workers, self.workers),
+                    thread_name_prefix="repro-decode")
+            return self._executor
+
+    def _effective_workers(self, workers: int | None) -> int:
+        return self.workers if workers is None else workers
 
     def reconstruct(self, record: ArrayRecord, version: int,
                     attribute: str, chunk: ChunkRef,
@@ -241,7 +363,13 @@ class DecodePipeline:
                 scope[version] = cached
                 return cached
 
-        # Stage 1: locate — walk the chain in the metadata.
+        # Stage 1: locate — walk the chain in the metadata.  With
+        # prefetch on, the cache is probed at every level, not just the
+        # requested version: a chain prefetched by an earlier read
+        # terminates the walk at the deepest cached version, so only
+        # the suffix is read.  (Without prefetch, intermediates are
+        # never admitted, so mid-walk probes would only inflate the
+        # miss counters.)
         chain: list[ChunkRecord] = []
         cursor: int | None = version
         seen: set[int] = set()
@@ -251,6 +379,13 @@ class DecodePipeline:
                     f"delta cycle detected for {record.name!r} "
                     f"chunk {chunk.name} at version {cursor}")
             seen.add(cursor)
+            if self.cache.enabled and self.prefetch and \
+                    cursor != version:
+                cached = self.cache.peek(
+                    (record.array_id, cursor, attribute, chunk.name))
+                if cached is not None:
+                    scope[cursor] = cached
+                    break
             chunk_record = self.catalog.get_chunk(
                 record.array_id, cursor, attribute, chunk.name)
             chain.append(chunk_record)
@@ -262,12 +397,14 @@ class DecodePipeline:
 
         # Stage 3: decompress the materialized root (or start from the
         # already-resolved version the chain stopped at).
+        resolved: list[int] = []
         if cursor is not None:
             data = scope[cursor]
         else:
             root = chain.pop()
             data = get_codec(root.compressor).decode(payloads.pop())
             scope[root.version] = data
+            resolved.append(root.version)
 
         # Stage 4: delta-decode forward along the chain.
         for chunk_record, payload in zip(reversed(chain),
@@ -275,8 +412,19 @@ class DecodePipeline:
             codec = get_delta_codec(chunk_record.delta_codec)
             data = codec.decode_forward(payload, data)
             scope[chunk_record.version] = data
+            resolved.append(chunk_record.version)
 
         if self.cache.enabled:
+            if self.prefetch:
+                # Chain-aware prefetch: the whole chain was decoded in
+                # this one pass — admit every intermediate version now
+                # (deepest first) instead of re-walking the chain when
+                # it is queried later.
+                for intermediate in resolved:
+                    if intermediate != version:
+                        self.cache.put(
+                            (record.array_id, intermediate, attribute,
+                             chunk.name), scope[intermediate])
             self.cache.put(key, data)
         return data
 
@@ -284,35 +432,71 @@ class DecodePipeline:
     # Stage 5: assembly
     # ------------------------------------------------------------------
     def read_version(self, record: ArrayRecord, grid: ChunkGrid,
-                     version: int) -> ArrayData:
-        """Assemble the full contents of one version."""
-        attributes = {}
-        for attr in record.schema.attributes:
-            canvas = np.empty(record.schema.shape, dtype=attr.dtype)
-            for chunk in grid.chunks():
-                canvas[chunk.slices()] = self.reconstruct(
-                    record, version, attr.name, chunk)
-            attributes[attr.name] = canvas
+                     version: int, *,
+                     workers: int | None = None) -> ArrayData:
+        """Assemble the full contents of one version.
+
+        ``workers`` overrides the pipeline's configured parallelism for
+        this call; > 1 fans per-chunk reconstruction across the shared
+        executor.  The output is byte-identical either way.
+        """
+        tasks = [(attr, chunk) for attr in record.schema.attributes
+                 for chunk in grid.chunks()]
+        attributes = {
+            attr.name: np.empty(record.schema.shape, dtype=attr.dtype)
+            for attr in record.schema.attributes
+        }
+        for (attr, chunk), data in self._reconstruct_tasks(
+                record, version, tasks,
+                self._effective_workers(workers)):
+            attributes[attr.name][chunk.slices()] = data
         return ArrayData(record.schema, attributes)
 
     def read_region(self, record: ArrayRecord, grid: ChunkGrid,
                     version: int, lo: tuple[int, ...],
-                    hi: tuple[int, ...]) -> ArrayData:
+                    hi: tuple[int, ...], *,
+                    workers: int | None = None) -> ArrayData:
         """Assemble a zero-based hyper-rectangle of one version."""
         from repro.core.array import _sliced_schema
 
         schema = record.schema
         region_shape = tuple(h - l + 1 for l, h in zip(lo, hi))
-        attributes = {}
-        for attr in schema.attributes:
-            canvas = np.empty(region_shape, dtype=attr.dtype)
-            for chunk in grid.chunks_overlapping(lo, hi):
-                chunk_data = self.reconstruct(record, version, attr.name,
-                                              chunk)
-                src, dst = overlap_slices(chunk, lo, hi)
-                canvas[dst] = chunk_data[src]
-            attributes[attr.name] = canvas
+        tasks = [(attr, chunk) for attr in schema.attributes
+                 for chunk in grid.chunks_overlapping(lo, hi)]
+        attributes = {
+            attr.name: np.empty(region_shape, dtype=attr.dtype)
+            for attr in schema.attributes
+        }
+        for (attr, chunk), data in self._reconstruct_tasks(
+                record, version, tasks,
+                self._effective_workers(workers)):
+            src, dst = overlap_slices(chunk, lo, hi)
+            attributes[attr.name][dst] = data[src]
         return ArrayData(_sliced_schema(schema, lo, hi), attributes)
+
+    def _reconstruct_tasks(self, record: ArrayRecord, version: int,
+                           tasks: list, workers: int):
+        """Reconstruct every (attribute, chunk) task, yielding
+        ``(task, chunk_data)`` pairs in task order.
+
+        The parallel path submits all tasks to the shared executor and
+        collects results in submission order, so callers assemble
+        canvases identically to the serial path; each chunk's scope is
+        private, making the tasks fully independent.
+        """
+        if workers > 1 and len(tasks) > 1:
+            pool = self._pool(workers)
+            futures = [
+                pool.submit(self.reconstruct, record, version,
+                            attr.name, chunk)
+                for attr, chunk in tasks
+            ]
+            for task, future in zip(tasks, futures):
+                yield task, future.result()
+        else:
+            for attr, chunk in tasks:
+                yield (attr, chunk), self.reconstruct(
+                    record, version, attr.name, chunk)
 
 
 def overlap_slices(chunk: ChunkRef, lo: tuple[int, ...],

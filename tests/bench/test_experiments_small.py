@@ -144,6 +144,25 @@ class TestFigureAndAblations:
         rows = fig2.run(max_chain=3, workdir=str(tmp_path), quiet=True)
         assert rows[2]["chunks_read"] == 6
 
+    def test_fig2_workers_axis_and_json(self, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_fig2.json"
+        rows = fig2.run(max_chain=3, workers=(1, 2),
+                        workdir=str(tmp_path), json_path=out,
+                        quiet=True)
+        assert {row["workers"] for row in rows} == {1, 2}
+        # The workers axis changes wall-clock only, never the I/O.
+        for degree in (1, 2):
+            for row in rows:
+                if row["workers"] != degree:
+                    continue
+                assert row["file_opens"] == \
+                    row["chunks_overlapping_query"]
+                assert row["chunks_read"] == \
+                    row["chain_depth"] * row["chunks_overlapping_query"]
+        assert json.loads(out.read_text()) == rows
+
     def test_chunk_sweep_small(self, tmp_path):
         rows = ablations.run_chunk_sweep(
             versions=3, shape=(64, 64), budgets=(1024, 8192),

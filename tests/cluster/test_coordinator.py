@@ -196,3 +196,54 @@ class TestValidation:
         np.testing.assert_array_equal(cluster.select("A", 1).single(),
                                       data)
         cluster.close()
+
+
+class TestClusterWorkers:
+    def test_parallel_cluster_matches_serial(self, tmp_path, rng):
+        schema = ArraySchema.simple((24, 10), dtype=np.int32)
+        serial = ClusterCoordinator(tmp_path / "serial", nodes=3,
+                                    chunk_bytes=512, backend="memory")
+        parallel = ClusterCoordinator(tmp_path / "parallel", nodes=3,
+                                      chunk_bytes=512, backend="memory",
+                                      workers=4)
+        for cluster in (serial, parallel):
+            cluster.create_array("A", schema)
+        data = rng.integers(0, 100, (24, 10)).astype(np.int32)
+        for _ in range(3):
+            serial.insert("A", data)
+            parallel.insert("A", data)
+            data = data + 1
+        for version in (1, 2, 3):
+            np.testing.assert_array_equal(
+                parallel.select("A", version).single(),
+                serial.select("A", version).single())
+        np.testing.assert_array_equal(
+            parallel.select_region("A", 3, (2, 1), (21, 8)).single(),
+            serial.select_region("A", 3, (2, 1), (21, 8)).single())
+        np.testing.assert_array_equal(
+            parallel.select_versions("A", [1, 3]),
+            serial.select_versions("A", [1, 3]))
+        serial.close()
+        parallel.close()
+
+    def test_workers_reach_every_node(self, tmp_path):
+        cluster = ClusterCoordinator(tmp_path, nodes=2, workers=3,
+                                     backend="memory")
+        assert cluster.workers == 3
+        assert all(manager.workers == 3
+                   for manager in cluster.managers)
+        cluster.close()
+
+    def test_striped_nodes(self, tmp_path, rng):
+        """Each node can itself stripe its payloads."""
+        cluster = ClusterCoordinator(tmp_path, nodes=2, workers=2,
+                                     chunk_bytes=512,
+                                     backend="striped:2:memory")
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema)
+        data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+        cluster.insert("A", data)
+        np.testing.assert_array_equal(cluster.select("A", 1).single(),
+                                      data)
+        assert not tmp_path.exists() or not any(tmp_path.iterdir())
+        cluster.close()

@@ -1,10 +1,11 @@
 """Backend conformance suite: every backend behaves identically.
 
 The :class:`~repro.storage.backend.StorageBackend` contract is
-exercised twice — once against the raw byte API, once end-to-end
+exercised twice — once against the raw byte API (including the striped
+composite and the parallel ``read_many`` fan-out), once end-to-end
 through :class:`VersionedStorageManager` across the (backend x
-placement) grid, where every configuration must return byte-identical
-query results.
+placement x workers) grid, where every configuration must return
+byte-identical query results.
 """
 
 from __future__ import annotations
@@ -20,16 +21,28 @@ from repro.storage import (
     InMemoryBackend,
     LocalFileBackend,
     StorageBackend,
+    StripedBackend,
     VersionedStorageManager,
+    parse_striped_spec,
     resolve_backend,
 )
 
 
-@pytest.fixture(params=["local", "memory"])
-def backend(request, tmp_path) -> StorageBackend:
-    if request.param == "local":
+def _make_backend(kind: str, tmp_path) -> StorageBackend:
+    if kind == "local":
         return LocalFileBackend(tmp_path / "store")
-    return InMemoryBackend()
+    if kind == "memory":
+        return InMemoryBackend()
+    if kind == "striped-local":
+        return StripedBackend([LocalFileBackend(tmp_path / f"stripe{i}")
+                               for i in range(3)])
+    return StripedBackend([InMemoryBackend() for _ in range(3)])
+
+
+@pytest.fixture(params=["local", "memory", "striped-local",
+                        "striped-memory"])
+def backend(request, tmp_path) -> StorageBackend:
+    return _make_backend(request.param, tmp_path)
 
 
 class TestByteContract:
@@ -96,6 +109,98 @@ class TestByteContract:
         assert backend.total_bytes("missing") == 0
 
 
+class TestParallelReadMany:
+    """The ``max_workers`` fan-out must be indistinguishable from the
+    serial pass for every backend."""
+
+    def test_parallel_matches_serial(self, backend):
+        chunks = [bytes([i]) * (7 + i) for i in range(23)]
+        offsets = [backend.append("A/c.dat", chunk) for chunk in chunks]
+        spans = [(offset, len(chunk))
+                 for offset, chunk in zip(offsets, chunks)]
+        serial = backend.read_many("A/c.dat", spans)
+        parallel = backend.read_many("A/c.dat", spans, max_workers=4)
+        assert parallel == serial == chunks
+
+    def test_parallel_short_span_raises(self, backend):
+        backend.write("A/c.dat", b"abcdef")
+        with pytest.raises(StorageError):
+            backend.read_many("A/c.dat", [(0, 2), (2, 2), (4, 50)],
+                              max_workers=3)
+
+    def test_more_workers_than_spans(self, backend):
+        backend.write("A/c.dat", b"xy")
+        assert backend.read_many("A/c.dat", [(0, 1), (1, 1)],
+                                 max_workers=16) == [b"x", b"y"]
+
+
+class TestStripedBackend:
+    def test_routing_is_deterministic_and_total(self, tmp_path):
+        striped = _make_backend("striped-memory", tmp_path)
+        paths = [f"A/chunks/value/chunk-{i}.dat" for i in range(40)]
+        for path in paths:
+            striped.write(path, path.encode())
+        # Every object reads back through the composite...
+        for path in paths:
+            assert striped.read(path, 0, len(path)) == path.encode()
+        # ... routing is stable ...
+        for path in paths:
+            assert striped.child_for(path) is striped.child_for(path)
+        # ... and with enough objects, more than one stripe is used.
+        used = {id(striped.child_for(path)) for path in paths}
+        assert len(used) > 1
+
+    def test_prefix_operations_fan_to_all_stripes(self, tmp_path):
+        striped = _make_backend("striped-local", tmp_path)
+        for i in range(12):
+            striped.write(f"A/v1/value/chunk-{i}.dat", b"x" * 10)
+        striped.write("B/v1/value/chunk-0.dat", b"keep")
+        assert striped.total_bytes("A") == 120
+        striped.delete("A")
+        assert striped.total_bytes("A") == 0
+        assert striped.total_bytes("B") == 4
+
+    def test_ephemeral_iff_all_children_are(self, tmp_path):
+        assert _make_backend("striped-memory", tmp_path).ephemeral
+        assert not _make_backend("striped-local", tmp_path).ephemeral
+        mixed = StripedBackend([InMemoryBackend(),
+                                LocalFileBackend(tmp_path / "s")])
+        assert not mixed.ephemeral
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(StorageError):
+            StripedBackend([])
+
+
+class TestStripedSpec:
+    def test_parse_valid(self):
+        assert parse_striped_spec("striped:4") == (4, "local")
+        assert parse_striped_spec("striped:2:memory") == (2, "memory")
+
+    @pytest.mark.parametrize("spec", [
+        "striped", "striped:", "striped:0", "striped:-1", "striped:x",
+        "striped:2:tape", "striped:2:memory:extra",
+    ])
+    def test_parse_invalid(self, spec):
+        with pytest.raises(StorageError):
+            parse_striped_spec(spec)
+
+    def test_resolve_local_children_under_root(self, tmp_path):
+        backend = resolve_backend("striped:4", tmp_path)
+        assert isinstance(backend, StripedBackend)
+        assert len(backend.children) == 4
+        assert all(isinstance(child, LocalFileBackend)
+                   for child in backend.children)
+        assert sorted(child.root.name for child in backend.children) == \
+            ["stripe0", "stripe1", "stripe2", "stripe3"]
+
+    def test_resolve_memory_children(self, tmp_path):
+        backend = resolve_backend("striped:2:memory", tmp_path)
+        assert isinstance(backend, StripedBackend)
+        assert len(backend.children) == 2
+        assert backend.ephemeral
+
+
 class TestResolveBackend:
     def test_names_and_default(self, tmp_path):
         assert isinstance(resolve_backend(None, tmp_path),
@@ -129,9 +234,13 @@ class TestResolveBackend:
             resolve_backend("tape", tmp_path)
 
 
-#: The (backend, placement) grid every storage semantic must agree on.
-CONFIGS = [("local", COLOCATED), ("local", PER_VERSION),
-           ("memory", COLOCATED), ("memory", PER_VERSION)]
+#: The (backend, placement, workers) grid every storage semantic must
+#: agree on: plain and striped backends, serial and parallel decode.
+CONFIGS = [("local", COLOCATED, 0), ("local", PER_VERSION, 0),
+           ("memory", COLOCATED, 0), ("memory", PER_VERSION, 0),
+           ("striped:3", COLOCATED, 0), ("striped:3", PER_VERSION, 4),
+           ("striped:3:memory", COLOCATED, 4),
+           ("local", COLOCATED, 4), ("memory", COLOCATED, 4)]
 
 
 def _exercise(manager: VersionedStorageManager) -> dict:
@@ -157,16 +266,18 @@ def _exercise(manager: VersionedStorageManager) -> dict:
     }
 
 
-@pytest.mark.parametrize("backend_name,placement", CONFIGS)
-def test_manager_conformance_identical(tmp_path, backend_name, placement):
-    """Every backend/placement pair returns byte-identical results."""
+@pytest.mark.parametrize("backend_name,placement,workers", CONFIGS)
+def test_manager_conformance_identical(tmp_path, backend_name, placement,
+                                       workers):
+    """Every backend/placement/workers triple returns byte-identical
+    results."""
     with VersionedStorageManager(
             tmp_path / "ref", chunk_bytes=512,
-            placement=COLOCATED) as reference_manager:
+            placement=COLOCATED, workers=0) as reference_manager:
         reference = _exercise(reference_manager)
     with VersionedStorageManager(
             tmp_path / "sub", chunk_bytes=512, placement=placement,
-            backend=backend_name) as manager:
+            backend=backend_name, workers=workers) as manager:
         observed = _exercise(manager)
 
     assert observed["versions"] == reference["versions"]

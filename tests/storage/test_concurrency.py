@@ -1,0 +1,329 @@
+"""Concurrent decode, chain prefetch, and transactional write batching.
+
+The parallel select path must be invisible except in wall-clock: the
+same bytes, the same exact I/O counters, the same cache occupancy as
+the serial pass.  The write path must be atomic at version granularity:
+a failure anywhere mid-write leaves zero chunk rows in the catalog.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.errors import NoOverwriteError, StorageError
+from repro.core.schema import ArraySchema, Attribute, Dimension
+from repro.storage import (
+    ChunkLocation,
+    ChunkRecord,
+    MetadataCatalog,
+    VersionedStorageManager,
+)
+
+
+def _two_attr_schema(shape=(24, 24)) -> ArraySchema:
+    dims = tuple(Dimension(name, 0, extent - 1)
+                 for name, extent in zip("IJ", shape))
+    return ArraySchema(dimensions=dims,
+                       attributes=(Attribute("a", np.dtype(np.int64)),
+                                   Attribute("b", np.dtype(np.float32))))
+
+
+def _loaded(root, *, versions=4, workers=0, **kwargs):
+    manager = VersionedStorageManager(root, chunk_bytes=800,
+                                      compressor="none",
+                                      delta_policy="chain",
+                                      workers=workers, **kwargs)
+    schema = _two_attr_schema()
+    manager.create_array("A", schema)
+    rng = np.random.default_rng(42)
+    a = rng.integers(0, 1000, (24, 24)).astype(np.int64)
+    b = rng.random((24, 24)).astype(np.float32)
+    from repro.core.array import ArrayData
+    for _ in range(versions):
+        manager.insert("A", ArrayData(schema, {"a": a, "b": b}))
+        a = a + rng.integers(0, 3, (24, 24)).astype(np.int64)
+        b = b + 0.5
+    return manager
+
+
+class TestParallelDecodeDeterminism:
+    def test_read_version_byte_identical(self, tmp_path):
+        serial = _loaded(tmp_path / "serial", workers=0)
+        parallel = _loaded(tmp_path / "parallel", workers=4)
+        for version in serial.get_versions("A"):
+            left = serial.select("A", version)
+            right = parallel.select("A", version)
+            for attr in ("a", "b"):
+                np.testing.assert_array_equal(left.attribute(attr),
+                                              right.attribute(attr))
+        serial.close()
+        parallel.close()
+
+    def test_read_region_byte_identical(self, tmp_path):
+        serial = _loaded(tmp_path / "serial", workers=0)
+        parallel = _loaded(tmp_path / "parallel", workers=4)
+        for lo, hi in [((0, 0), (23, 23)), ((3, 5), (20, 18)),
+                       ((7, 7), (7, 7))]:
+            left = serial.select_region("A", 4, lo, hi)
+            right = parallel.select_region("A", 4, lo, hi)
+            for attr in ("a", "b"):
+                np.testing.assert_array_equal(left.attribute(attr),
+                                              right.attribute(attr))
+        serial.close()
+        parallel.close()
+
+    def test_per_call_workers_override(self, tmp_path):
+        manager = _loaded(tmp_path, workers=0)
+        record = manager.catalog.get_array("A")
+        grid = manager.grid_for(record)
+        serial = manager.decoder.read_version(record, grid, 4, workers=1)
+        parallel = manager.decoder.read_version(record, grid, 4,
+                                                workers=4)
+        for attr in ("a", "b"):
+            np.testing.assert_array_equal(serial.attribute(attr),
+                                          parallel.attribute(attr))
+        manager.close()
+
+    def test_io_counters_exact_under_parallelism(self, tmp_path):
+        """Lock-protected IOStats: not one lost increment at workers=4."""
+        serial = _loaded(tmp_path / "serial", workers=0)
+        parallel = _loaded(tmp_path / "parallel", workers=4)
+        with serial.stats.measure() as expected:
+            serial.select("A", 4)
+        with parallel.stats.measure() as observed:
+            parallel.select("A", 4)
+        assert observed.chunks_read == expected.chunks_read
+        assert observed.bytes_read == expected.bytes_read
+        assert observed.file_opens == expected.file_opens
+        serial.close()
+        parallel.close()
+
+    def test_concurrent_selects_share_one_cache_exactly(self, tmp_path):
+        """Many threads select through one locked cache; byte
+        accounting must match a single-threaded replay."""
+        manager = _loaded(tmp_path, workers=2, cache_bytes=1 << 20)
+        versions = manager.get_versions("A")
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(manager.select, "A", version)
+                       for version in versions for _ in range(3)]
+            results = [future.result() for future in futures]
+        expected = {v: manager.select("A", v) for v in versions}
+        for (version, _), result in zip(
+                [(v, i) for v in versions for i in range(3)], results):
+            np.testing.assert_array_equal(
+                result.attribute("a"), expected[version].attribute("a"))
+        info = manager.cache_info()
+        # Bytes accounting stayed consistent under contention.
+        assert info["bytes"] == sum(
+            entry.nbytes
+            for entry in manager.cache._entries.values())
+        manager.close()
+
+
+class TestWorkersConfiguration:
+    def test_malformed_env_rejected_loudly(self, tmp_path, monkeypatch):
+        """A misconfigured REPRO_WORKERS must fail, not silently run
+        serial (the CI parallel matrix cell would test nothing)."""
+        monkeypatch.setenv("REPRO_WORKERS", "four")
+        with pytest.raises(StorageError):
+            VersionedStorageManager(tmp_path / "bad")
+        assert not (tmp_path / "bad").exists()  # no durable state
+
+    def test_env_default_applies(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        manager = VersionedStorageManager(tmp_path, backend="memory")
+        assert manager.workers == 3
+        manager.close()
+
+    def test_negative_workers_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            VersionedStorageManager(tmp_path / "bad", workers=-1)
+        assert not (tmp_path / "bad").exists()
+
+    def test_close_shuts_down_span_pool(self, tmp_path):
+        manager = _loaded(tmp_path, workers=4)
+        manager.select("A", 4)  # spins up decode + span executors
+        backend = manager.store.backend
+        manager.close()
+        assert getattr(backend, "_span_executor", None) is None
+        # The backend stays usable: a pool is lazily recreated.
+        backend.write("probe.dat", b"xy")
+        assert backend.read_many("probe.dat", [(0, 1), (1, 1)],
+                                 max_workers=2) == [b"x", b"y"]
+
+
+def _chained(root, depth=5, **kwargs):
+    """A 2x2-chunk array whose five versions form full delta chains
+    (the same construction test_pipeline's chain-read tests rely on)."""
+    manager = VersionedStorageManager(root, chunk_bytes=800,
+                                      compressor="none",
+                                      delta_policy="chain", **kwargs)
+    manager.create_array("C", ArraySchema.simple((20, 20),
+                                                 dtype=np.int64))
+    rng = np.random.default_rng(2012)
+    data = rng.integers(0, 1000, (20, 20)).astype(np.int64)
+    for _ in range(depth):
+        manager.insert("C", data)
+        data = np.where(rng.random((20, 20)) > 0.9, data + 1, data)
+    return manager
+
+
+class TestChainPrefetch:
+    def test_deep_select_prefetches_whole_chain(self, tmp_path):
+        manager = _chained(tmp_path, cache_bytes=1 << 20)
+        with manager.stats.measure() as first:
+            manager.select("C", 5)  # decodes every chain root→5 once
+        assert first.chunks_read == 4 * 5  # 4 chunks, 5-deep chains
+        with manager.stats.measure() as window:
+            for version in (1, 2, 3, 4):
+                manager.select("C", version)
+        assert window.chunks_read == 0  # all served by the prefetch
+        manager.close()
+
+    def test_prefetch_terminates_later_chain_walks(self, tmp_path):
+        manager = _chained(tmp_path, cache_bytes=1 << 20)
+        manager.select("C", 3)
+        with manager.stats.measure() as window:
+            manager.select("C", 5)  # chain walk stops at cached v3
+        # Only the v4+v5 suffix of each of the four chains is read.
+        assert window.chunks_read == 4 * 2
+        manager.close()
+
+    def test_prefetch_disabled(self, tmp_path):
+        manager = _chained(tmp_path, cache_bytes=1 << 20,
+                           prefetch=False)
+        manager.select("C", 5)
+        with manager.stats.measure() as window:
+            manager.select("C", 1)
+        assert window.chunks_read > 0  # v1 was not prefetched
+        manager.close()
+
+    def test_prefetch_identical_results(self, tmp_path):
+        plain = _chained(tmp_path / "plain")  # cache off entirely
+        prefetching = _chained(tmp_path / "pre", cache_bytes=1 << 20)
+        prefetching.select("C", 5)
+        for version in (1, 2, 3, 4, 5):
+            np.testing.assert_array_equal(
+                prefetching.select("C", version).single(),
+                plain.select("C", version).single())
+        plain.close()
+        prefetching.close()
+
+
+class TestTransactionalWriteBatching:
+    def test_mid_write_failure_leaves_zero_chunk_rows(self, tmp_path):
+        manager = _loaded(tmp_path, versions=2)
+        record = manager.catalog.get_array("A")
+        original = manager.store.write_chunk
+        calls = {"n": 0}
+
+        def failing_write(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 3:  # fail mid-version, after some payloads
+                raise StorageError("disk full")
+            return original(*args, **kwargs)
+
+        manager.store.write_chunk = failing_write
+        data = manager.select("A", 2)
+        with pytest.raises(StorageError):
+            manager.insert("A", data)
+        manager.store.write_chunk = original
+
+        # Zero chunk rows and no version row for the failed insert.
+        assert manager.catalog.chunks_for_version(record.array_id, 3) \
+            == []
+        assert manager.get_versions("A") == [1, 2]
+        # The store recovers: the next insert lands cleanly as v3.
+        assert manager.insert("A", data) == 3
+        np.testing.assert_array_equal(
+            manager.select("A", 3).attribute("a"), data.attribute("a"))
+        manager.close()
+
+    def test_put_chunks_rolls_back_whole_batch(self):
+        catalog = MetadataCatalog()
+        schema = ArraySchema.simple((4, 4), dtype=np.int32)
+        record = catalog.create_array("A", schema, chunk_bytes=64,
+                                      compressor="none", created_at=0.0)
+
+        def chunk_row(name, offset):
+            return ChunkRecord(
+                array_id=record.array_id, version=1, attribute="value",
+                chunk_name=name, delta_codec=None, base_version=None,
+                compressor="none",
+                location=ChunkLocation("A/chunks/value/" + name,
+                                       offset, 16))
+
+        poisoned = chunk_row("chunk-1", 16)
+        # A location sqlite cannot bind: executemany fails after BEGIN.
+        object.__setattr__(poisoned, "location",
+                           ChunkLocation("A", object(), 16))
+        with pytest.raises(Exception):
+            catalog.put_chunks([chunk_row("chunk-0", 0), poisoned])
+        assert catalog.chunks_for_version(record.array_id, 1) == []
+
+        catalog.put_chunks([chunk_row("chunk-0", 0),
+                            chunk_row("chunk-1", 16)])
+        assert len(catalog.chunks_for_version(record.array_id, 1)) == 2
+        catalog.close()
+
+    def test_failed_branch_leaves_no_partial_array(self, tmp_path):
+        manager = _loaded(tmp_path, versions=2)
+        original = manager.store.write_chunk
+        calls = {"n": 0}
+
+        def failing_write(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise StorageError("disk full")
+            return original(*args, **kwargs)
+
+        manager.store.write_chunk = failing_write
+        with pytest.raises(StorageError):
+            manager.branch("A", 2, "B")
+        manager.store.write_chunk = original
+        assert manager.list_arrays() == ["A"]
+        # The branch works once the fault clears.
+        manager.branch("A", 2, "B")
+        assert manager.get_versions("B") == [1]
+        manager.close()
+
+    def test_failed_merge_leaves_no_partial_array(self, tmp_path):
+        manager = _loaded(tmp_path, versions=3)
+        original = manager.store.write_chunk
+        calls = {"n": 0}
+
+        def failing_write(*args, **kwargs):
+            calls["n"] += 1
+            # Let the first parent replay fully, fail during the second.
+            if calls["n"] > 20:
+                raise StorageError("disk full")
+            return original(*args, **kwargs)
+
+        manager.store.write_chunk = failing_write
+        with pytest.raises(StorageError):
+            manager.merge([("A", 1), ("A", 3)], "M")
+        manager.store.write_chunk = original
+        assert manager.list_arrays() == ["A"]
+        manager.merge([("A", 1), ("A", 3)], "M")
+        assert manager.get_versions("M") == [1, 2]
+        manager.close()
+
+    def test_rejected_overwrite_keeps_cache_warm(self, tmp_path):
+        """Regression: NoOverwriteError must not invalidate the cache."""
+        manager = _loaded(tmp_path, versions=2, cache_bytes=1 << 20)
+        contents = manager.select("A", 2)  # warms the cache
+        warm = manager.cache_info()["entries"]
+        assert warm > 0
+        record = manager.catalog.get_array("A")
+        with pytest.raises(NoOverwriteError):
+            manager.encoder.write_version(
+                record, manager.grid_for(record), 2, contents,
+                base_data=None, base_version=None)
+        assert manager.cache_info()["entries"] == warm
+        with manager.stats.measure() as window:
+            manager.select("A", 2)
+        assert window.chunks_read == 0  # still served from cache
+        manager.close()

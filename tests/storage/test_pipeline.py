@@ -54,6 +54,38 @@ class TestChunkCacheBounds:
         assert cache.info()["entries"] == 0
         assert cache.info()["bytes"] == 0
 
+    def test_oversized_entry_does_not_evict_others(self):
+        """Admission control: an entry above max_bytes is rejected
+        outright instead of first flushing the whole cache."""
+        cache = ChunkCache(max_bytes=100)
+        small = np.zeros(5, dtype=np.int64)   # 40 bytes
+        cache.put(("arr", 1), small)
+        cache.put(("arr", 2), small)
+        cache.put(("arr", 3), np.zeros(100, dtype=np.int64))  # 800 B
+        assert cache.info()["entries"] == 2
+        assert cache.get(("arr", 1)) is small
+        assert cache.get(("arr", 2)) is small
+        assert cache.get(("arr", 3)) is None
+        assert cache.info()["oversized"] == 1
+
+    def test_oversized_reput_drops_stale_entry(self):
+        """Re-putting a key with now-oversized data must not leave the
+        stale (outdated) value behind."""
+        cache = ChunkCache(max_bytes=100)
+        cache.put(("arr", 1), np.zeros(5, dtype=np.int64))
+        cache.put(("arr", 1), np.zeros(100, dtype=np.int64))
+        assert cache.get(("arr", 1)) is None
+        assert cache.info()["bytes"] == 0
+        assert cache.info()["oversized"] == 1
+
+    def test_entry_budget_alone_admits_any_size(self):
+        # Only the byte budget defines "oversized".
+        cache = ChunkCache(max_entries=2)
+        big = np.zeros(1000, dtype=np.int64)
+        cache.put(("arr", 1), big)
+        assert cache.get(("arr", 1)) is big
+        assert cache.info()["oversized"] == 0
+
     def test_reput_updates_byte_accounting(self):
         cache = ChunkCache(max_bytes=1000)
         cache.put(("arr", 1), np.zeros(10, dtype=np.int64))

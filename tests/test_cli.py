@@ -88,3 +88,39 @@ class TestCLI:
     def test_unknown_backend_rejected(self, store):
         with pytest.raises(SystemExit):
             main([str(store), "--backend", "tape", "list"])
+
+
+class TestConcurrencyFlags:
+    def test_workers_flag(self, store, capsys):
+        assert main([str(store), "--workers", "4", "info",
+                     "Example"]) == 0
+        assert "versions:    2" in capsys.readouterr().out
+
+    def test_striped_backend_round_trip(self, tmp_path, capsys):
+        root = tmp_path / "striped-store"
+        with Database(root, chunk_bytes=2048,
+                      backend="striped:2") as db:
+            db.execute("CREATE UPDATABLE ARRAY Example "
+                       "( A::INTEGER ) [ I=0:7, J=0:7 ];")
+            db.insert("Example",
+                      np.arange(64, dtype=np.int32).reshape(8, 8))
+        assert main([str(root), "--backend", "striped:2", "--workers",
+                     "2", "info", "Example"]) == 0
+        out = capsys.readouterr().out
+        assert "versions:    1" in out
+
+    def test_invalid_striped_spec_fails_before_side_effects(
+            self, tmp_path):
+        root = tmp_path / "never-created"
+        for spec in ("striped:0", "striped:x", "striped:2:tape"):
+            with pytest.raises(SystemExit):
+                main([str(root), "--backend", spec, "list"])
+        assert not root.exists()
+
+    def test_negative_workers_fails_before_side_effects(self, tmp_path):
+        root = tmp_path / "never-created"
+        with pytest.raises(SystemExit):
+            main([str(root), "--workers", "-1", "list"])
+        with pytest.raises(SystemExit):
+            main([str(root), "--workers", "many", "list"])
+        assert not root.exists()
