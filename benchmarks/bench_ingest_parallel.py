@@ -1,0 +1,39 @@
+"""Experiment I1 — ingest throughput through the staged write pipeline.
+
+The sweep runs the workers axis (serial vs parallel encode fan-out)
+against four backends (buffered local files, durable local files with
+the group-commit fsync barrier, in-memory, and striped local).  The
+wall-clock columns are hardware-dependent and asserted nowhere; what
+must hold everywhere is the determinism contract: every cell stores
+byte-identical payloads at byte-identical locations with identical
+catalog rows (one SHA-256 fingerprint for the whole grid), executes
+exactly one encode task per placed chunk, and commits each version's
+rows in one transaction.  The rows land in ``BENCH_ingest.json``
+(uploaded as a CI artifact next to ``BENCH_fig2.json``).
+"""
+
+from repro.bench import ingest
+
+
+def bench_ingest_parallel(run_once):
+    rows = run_once(ingest.run,
+                    backends=("local", "durable", "memory", "striped:2"),
+                    workers=(1, 4), json_path="BENCH_ingest.json")
+
+    assert len(rows) == 8
+    # The parallel write pipeline may change wall-clock only: one
+    # fingerprint — catalog rows plus stored payload bytes — across
+    # every backend and every workers degree.
+    assert all(row["identical_to_serial"] for row in rows)
+    assert len({row["fingerprint"] for row in rows}) == 1
+
+    for row in rows:
+        # One encode task per placed chunk, regardless of fan-out.
+        assert row["encode_tasks"] == row["chunks_written"]
+        assert row["encode_tasks"] == \
+            rows[0]["encode_tasks"]
+        assert row["bytes_written"] == rows[0]["bytes_written"]
+        assert row["versions_per_sec"] > 0
+
+    # Both halves of the workers axis actually ran.
+    assert {row["workers"] for row in rows} == {1, 4}

@@ -8,6 +8,7 @@ from paper artifact to module is DESIGN.md's per-experiment index.
 from repro.bench import (
     ablations,
     fig2,
+    ingest,
     materialization,
     table1,
     table2,
@@ -25,6 +26,7 @@ __all__ = [
     "fig2",
     "fmt_bytes",
     "fmt_seconds",
+    "ingest",
     "materialization",
     "print_table",
     "table1",

@@ -8,21 +8,31 @@ Usage::
     python -m repro.cli <store-root> chunks <array> <version>
     python -m repro.cli <store-root> layout <array>
     python -m repro.cli <store-root> sql "VERSIONS(Example);"
+    python -m repro.cli <store-root> --workers 4 ingest <array> a.npy b.npy
 
 ``list`` enumerates arrays; ``info`` prints schema and storage figures;
 ``versions`` the version history with parentage; ``chunks`` the
 per-chunk encoding records of one version (which delta codec, which
 base, where on disk); ``layout`` the current materialization structure
-as a tree; ``sql`` executes one AQL statement.
+as a tree; ``sql`` executes one AQL statement; ``ingest`` appends one
+version per ``.npy`` file (creating the array from the first file's
+shape and dtype when absent) and reports throughput — ``--workers``
+sets the encode *and* decode parallelism, so ingest fans chunk encoding
+across the thread pool.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 
-from repro.bench.harness import fmt_bytes
+import numpy as np
+
+from repro.bench.harness import fmt_bytes, fmt_seconds
 from repro.core.errors import StorageError
+from repro.core.schema import ArraySchema
 from repro.query.engine import Database
 from repro.storage.backend import BACKEND_NAMES, parse_striped_spec
 from repro.storage.pipeline import resolve_workers
@@ -106,6 +116,58 @@ def _cmd_layout(db: Database, args) -> int:
     return 0
 
 
+def _cmd_ingest(db: Database, args) -> int:
+    """Append one version per ``.npy`` file, creating the array from
+    the first file when it does not exist yet."""
+    # Validate before any side effect (the ensure_policy rule): a typo,
+    # an unloadable file, or a shape mismatch must fail before the
+    # first version is created.  mmap keeps the pass cheap.
+    missing = [filename for filename in args.files
+               if not Path(filename).is_file()]
+    if missing:
+        print(f"ingest: no such file: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    shapes = {}
+    for filename in args.files:
+        try:
+            probe = np.load(filename, mmap_mode="r")
+        except Exception as exc:
+            print(f"ingest: cannot load {filename}: {exc}",
+                  file=sys.stderr)
+            return 2
+        shapes[filename] = (probe.shape, probe.dtype)
+    if len(set(shapes.values())) > 1:
+        print(f"ingest: files disagree on shape/dtype: {shapes}",
+              file=sys.stderr)
+        return 2
+    manager = db.manager
+    total_bytes = 0
+    count = 0
+    exists = args.array in manager.list_arrays()
+    start = time.perf_counter()
+    for filename in args.files:
+        data = np.load(filename)
+        if not exists:
+            manager.create_array(
+                args.array,
+                ArraySchema.simple(data.shape, dtype=data.dtype),
+                chunk_bytes=args.chunk_bytes)
+            exists = True
+        version = manager.insert(args.array, data)
+        total_bytes += data.nbytes
+        count += 1
+        print(f"v{version}  {fmt_bytes(data.nbytes)}  {filename}")
+    elapsed = time.perf_counter() - start
+    window = manager.stats
+    rate = total_bytes / elapsed if elapsed else float("inf")
+    print(f"ingested {count} version(s), {fmt_bytes(total_bytes)} in "
+          f"{fmt_seconds(elapsed)} ({fmt_bytes(rate)}/s; "
+          f"{window.encode_tasks} encode tasks, "
+          f"{fmt_bytes(window.bytes_written)} stored)")
+    return 0
+
+
 def _cmd_sql(db: Database, args) -> int:
     result = db.execute(args.statement)
     if result.value is not None:
@@ -158,7 +220,8 @@ def build_parser() -> argparse.ArgumentParser:
                              " 'striped:<n>[:memory]' stripes objects"
                              " over n child backends)")
     parser.add_argument("--workers", type=_workers_count, default=None,
-                        help="parallel chunk reconstruction degree"
+                        help="parallel chunk encode/reconstruction"
+                             " degree, applied to reads and to ingest"
                              " (default: the REPRO_WORKERS environment"
                              " variable, else serial)")
     commands = parser.add_subparsers(dest="command", required=True)
@@ -181,6 +244,15 @@ def build_parser() -> argparse.ArgumentParser:
     layout = commands.add_parser("layout")
     layout.add_argument("array")
     layout.set_defaults(func=_cmd_layout)
+
+    ingest = commands.add_parser("ingest")
+    ingest.add_argument("array")
+    ingest.add_argument("files", nargs="+",
+                        help=".npy files, one version each")
+    ingest.add_argument("--chunk-bytes", type=int, default=None,
+                        help="chunk byte budget when the array is"
+                             " created by this ingest")
+    ingest.set_defaults(func=_cmd_ingest)
 
     sql = commands.add_parser("sql")
     sql.add_argument("statement")

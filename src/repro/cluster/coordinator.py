@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.cluster.partitioning import RangePartitioner
 from repro.core.array import ArrayData, Payload
-from repro.core.errors import StorageError
+from repro.core.errors import ReproError, StorageError
 from repro.core.schema import ArraySchema, Attribute, Dimension
 from repro.storage.backend import StorageBackend
 from repro.storage.iostats import IOStats
@@ -44,10 +44,13 @@ class ClusterCoordinator:
     because the nodes must not share state.
 
     ``workers`` is per-node parallelism: each node's manager fans its
-    chunk reconstructions across its own executor, and region selects
-    additionally query the overlapping nodes concurrently (the nodes
-    are fully independent storage systems, so node-level fan-out needs
-    no extra locking).
+    chunk encodes and reconstructions across its own executors, and
+    the coordinator additionally fans *node-level* work concurrently —
+    region selects query the overlapping nodes in parallel, and
+    ``insert``/``branch``/``merge`` run every node's write at once
+    (``min(workers, nodes)`` coordinator threads; the nodes are fully
+    independent storage systems, so node-level fan-out needs no extra
+    locking).
     """
 
     def __init__(self, root: str | Path, nodes: int = 4, *,
@@ -105,14 +108,22 @@ class ClusterCoordinator:
     # Versions
     # ------------------------------------------------------------------
     def insert(self, name: str, payload: Payload | ArrayData | np.ndarray,
-               timestamp: float | None = None) -> int:
-        """Split a version into bands and insert on every node."""
+               timestamp: float | None = None, *,
+               workers: int | None = None) -> int:
+        """Split a version into bands and insert on every node.
+
+        The per-node inserts are independent (each node owns its own
+        catalog, store, and encoder), so they fan out across the
+        coordinator's node executor — the write-side mirror of the
+        region select's concurrent node queries.  ``workers`` overrides
+        each node's encode parallelism for this one insert.
+        """
         partitioner = self._partitioner(name)
         schema = self._schemas[name]
         data = self._normalize(name, payload)
-        version = None
         axis = partitioner.axis
-        for node, manager in enumerate(self.managers):
+
+        def insert_band(node: int) -> int:
             band = partitioner.band_of(node)
             index = tuple(
                 np.s_[band.lo:band.hi + 1] if dim == axis else np.s_[:]
@@ -121,14 +132,137 @@ class ClusterCoordinator:
                 _band_schema(schema, partitioner.local_shape(node)),
                 {attr.name: data.attribute(attr.name)[index]
                  for attr in schema.attributes})
-            node_version = manager.insert(name, local, timestamp)
-            if version is None:
-                version = node_version
-            elif version != node_version:
+            return self.managers[node].insert(name, local, timestamp,
+                                              workers=workers)
+
+        versions, error = self._settle_nodes(insert_band,
+                                             range(self.nodes))
+        if error is None and len(set(versions)) > 1:
+            error = StorageError(
+                f"cluster is out of step: nodes landed versions "
+                f"{versions}")
+        if error is not None:
+            # Best-effort compensation: the version that landed on some
+            # nodes is by construction their newest (no dependents), so
+            # deleting it keeps every node at the old head instead of
+            # leaving the cluster permanently out of step.
+            for node, version in enumerate(versions):
+                if version is not None:
+                    try:
+                        self.managers[node].delete_version(name, version)
+                    except ReproError:
+                        pass
+            raise error
+        return versions[0]
+
+    def branch(self, source_name: str, source_version: int,
+               new_name: str,
+               timestamp: float | None = None, *,
+               workers: int | None = None):
+        """Branch every node's band of the source version (Branch).
+
+        All-or-nothing across the cluster: if any node fails, the
+        half-created branch is removed from every node before the
+        error propagates.
+        """
+        partitioner = self._partitioner(source_name)
+        schema = self._schema(source_name)
+
+        def branch_node(manager: VersionedStorageManager):
+            return manager.branch(source_name, source_version, new_name,
+                                  timestamp, workers=workers)
+
+        self._all_nodes_or_none(branch_node, new_name)
+        # The branch shares the source's shape, so its partitioning is
+        # identical by construction.
+        self._partitioners[new_name] = partitioner
+        self._schemas[new_name] = schema
+        return new_name
+
+    def merge(self, parents: list[tuple[str, int]], new_name: str,
+              timestamp: float | None = None, *,
+              workers: int | None = None):
+        """Merge parent versions into a new array sequence on every
+        node (the paper's Merge: versions 1..k replay the parents)."""
+        if len(parents) < 2:
+            raise StorageError("merge requires at least two parent versions")
+        partitioner = self._partitioner(parents[0][0])
+        schema = self._schema(parents[0][0])
+        for parent_name, _ in parents:
+            if self._schema(parent_name) != schema:
                 raise StorageError(
-                    f"node {node} is out of step: version {node_version}"
-                    f" vs {version}")
-        return version
+                    "merge parents must share the same schema")
+
+        def merge_node(manager: VersionedStorageManager):
+            return manager.merge(parents, new_name, timestamp,
+                                 workers=workers)
+
+        self._all_nodes_or_none(merge_node, new_name)
+        self._partitioners[new_name] = partitioner
+        self._schemas[new_name] = schema
+        return new_name
+
+    def _all_nodes_or_none(self, operation, new_name: str) -> None:
+        """Run an array-creating write on every node; undo it on every
+        node where it succeeded if any node fails, so no node keeps a
+        partial array.
+
+        The name must be unused: rollback deletes ``new_name`` on the
+        nodes that created it, which would destroy a pre-existing
+        array of that name had the operation been allowed to start.
+        The guard checks the node catalogs as well as the registry —
+        coordinator state is session-scoped, but node arrays are not.
+        """
+        if new_name in self._partitioners or \
+                new_name in self.managers[0].list_arrays():
+            raise StorageError(
+                f"array {new_name!r} already exists on this cluster")
+        results, error = self._settle_nodes(operation, self.managers)
+        if error is not None:
+            for manager, result in zip(self.managers, results):
+                if result is not None:
+                    try:
+                        manager.delete_array(new_name)
+                    except ReproError:
+                        pass
+            raise error
+
+    def _map_nodes(self, operation, items) -> list:
+        """Apply ``operation`` to every item, fanning across the node
+        executor when configured; results come back in item order."""
+        items = list(items)
+        if self.workers > 1 and len(items) > 1:
+            return list(self._pool().map(operation, items))
+        return [operation(item) for item in items]
+
+    def _settle_nodes(self, operation, items) -> tuple[list, object]:
+        """Like :meth:`_map_nodes`, but *every* submitted operation is
+        waited for before returning — the write paths compensate by
+        inspecting which nodes succeeded, which is only sound once no
+        straggler is still mutating its node.  Returns ``(results,
+        first_error)`` with None results for failed (or, serially,
+        never-attempted) items.
+        """
+        items = list(items)
+        results: list = [None] * len(items)
+        error = None
+        if self.workers > 1 and len(items) > 1:
+            pool = self._pool()
+            futures = [pool.submit(operation, item) for item in items]
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result()
+                except BaseException as exc:
+                    if error is None:
+                        error = exc
+        else:
+            for index, item in enumerate(items):
+                try:
+                    results[index] = operation(item)
+                except BaseException as exc:
+                    error = exc
+                    break  # serial: later items were never started
+        return results, error
 
     def get_versions(self, name: str) -> list[int]:
         self._partitioner(name)
@@ -166,10 +300,7 @@ class ClusterCoordinator:
                 name, version, local_lo, local_hi)
 
         bands = list(partitioner.bands_overlapping(lo, hi))
-        if self.workers > 1 and len(bands) > 1:
-            parts = list(self._pool().map(fetch, bands))
-        else:
-            parts = [fetch(band) for band in bands]
+        parts = self._map_nodes(fetch, bands)
 
         for band, part in zip(bands, parts):
             dest_lo = max(lo[axis], band.lo) - lo[axis]

@@ -66,8 +66,12 @@ class Database:
 
     def insert(self, name: str,
                payload: Payload | ArrayData | np.ndarray,
-               timestamp: float | None = None) -> int:
-        return self.manager.insert(name, payload, timestamp)
+               timestamp: float | None = None, *,
+               workers: int | None = None) -> int:
+        """Append one version; ``workers`` overrides the database's
+        configured encode parallelism for this one insert."""
+        return self.manager.insert(name, payload, timestamp,
+                                   workers=workers)
 
     def select(self, spec: str | VersionSpec, **kwargs) -> np.ndarray:
         """Select by spec string (``"Example@3"``, ``"Example@*"``)."""
@@ -78,8 +82,14 @@ class Database:
     def versions(self, name: str) -> list[int]:
         return self.manager.get_versions(name)
 
-    def branch(self, source: str, version: int, new_name: str):
-        return self.manager.branch(source, version, new_name)
+    def branch(self, source: str, version: int, new_name: str, *,
+               workers: int | None = None):
+        return self.manager.branch(source, version, new_name,
+                                   workers=workers)
+
+    def merge(self, parents: list[tuple[str, int]], new_name: str, *,
+              workers: int | None = None):
+        return self.manager.merge(parents, new_name, workers=workers)
 
     def properties(self, name: str) -> dict:
         return self.manager.properties(name)

@@ -11,7 +11,12 @@ object storage) drop in without touching encoding semantics.
 Three implementations ship today:
 
 * :class:`LocalFileBackend` — the paper's local filesystem, one object
-  per file under a root directory;
+  per file under a root directory; ``durable=True`` (registry name
+  ``"durable"``) enables **durability barriers**: :meth:`~StorageBackend.sync`
+  fsyncs the named objects, and the write pipeline raises that barrier
+  between placement and the catalog transaction — the transactional
+  write path's durability leg, group-committed like a database log
+  rather than one fsync per write;
 * :class:`InMemoryBackend` — a zero-I/O dict-of-buffers backend for
   tests, benchmarks, and all-in-memory cluster simulation;
 * :class:`StripedBackend` — spreads objects over N child backends by a
@@ -34,6 +39,7 @@ written by one backend can be described identically by another.
 
 from __future__ import annotations
 
+import os
 import shutil
 import threading
 import zlib
@@ -45,9 +51,9 @@ from pathlib import Path
 from repro.core.errors import StorageError
 
 #: Names accepted by :func:`resolve_backend` (and the CLI / bench axis).
-#: ``striped:<n>`` and ``striped:<n>:memory`` specs are also accepted —
+#: ``striped:<n>`` and ``striped:<n>:<child>`` specs are also accepted —
 #: see :func:`parse_striped_spec`.
-BACKEND_NAMES = ("local", "memory")
+BACKEND_NAMES = ("local", "memory", "durable")
 
 #: A backend spec: a registry name, a ready instance, or a factory
 #: called with the store root (so multi-node deployments can build one
@@ -97,6 +103,21 @@ class StorageBackend(ABC):
         order.
         """
 
+    def sync(self, paths: Sequence[str], *, max_workers: int = 0) -> None:
+        """Durability barrier: block until the listed objects survive a
+        crash.
+
+        The default is a no-op — the paper's prototype semantics, where
+        the page cache owns write-back.  Backends opened in durable
+        mode (``LocalFileBackend(durable=True)``) honor the barrier by
+        fsyncing every listed object; ``max_workers`` > 1 fans the
+        fsyncs across the shared I/O pool, letting the filesystem
+        journal batch the commits instead of paying one full flush per
+        object.  The write pipeline calls this once per version, after
+        placement and before the catalog transaction, so a catalog row
+        can never name bytes the kernel still held in memory.
+        """
+
     @abstractmethod
     def delete(self, prefix: str) -> None:
         """Remove the object at ``prefix`` or every object under it."""
@@ -108,20 +129,48 @@ class StorageBackend(ABC):
     def close(self) -> None:
         """Release auxiliary resources (idempotent).
 
-        Shuts down the lazily-created span-read executor; a later
-        parallel read simply recreates it, so a backend instance stays
-        usable after close.  The pool is detached under the guard but
-        drained outside it, so closing one backend never stalls other
-        backends' reads on the shared creation lock.
+        Shuts down the lazily-created span-read and sync executors; a
+        later parallel read or durability barrier simply recreates
+        them, so a backend instance stays usable after close.  The
+        pools are detached under the guard but drained outside it, so
+        closing one backend never stalls other backends' I/O on the
+        shared creation lock.
         """
         with _span_pool_guard:
-            pool = getattr(self, "_span_executor", None)
+            pools = [getattr(self, "_span_executor", None),
+                     getattr(self, "_sync_executor", None)]
             self._span_executor = None
-        if pool is not None:
-            pool.shutdown(wait=True)
+            self._sync_executor = None
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=True)
 
 
 _span_pool_guard = threading.Lock()
+
+#: Durability-barrier fan depth.  An fsync wait is I/O, not CPU: the
+#: filesystem journal group-commits concurrent flushes, and batching
+#: saturates around this queue depth on commodity disks — so the
+#: barrier fans to this fixed width (bounded by the object count)
+#: whenever concurrency is enabled, independent of the CPU-oriented
+#: ``workers`` degree.
+SYNC_FAN = 8
+
+
+def _sync_pool(backend: "StorageBackend") -> ThreadPoolExecutor:
+    """One lazily-created durability-barrier executor per backend.
+
+    Separate from the span-read pool so the barrier's I/O depth is
+    never silently capped by whatever size the read path happened to
+    create its pool with."""
+    with _span_pool_guard:
+        pool = getattr(backend, "_sync_executor", None)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=SYNC_FAN,
+                thread_name_prefix=f"repro-{backend.name}-sync")
+            backend._sync_executor = pool
+        return pool
 
 
 def _span_pool(backend: "StorageBackend",
@@ -163,30 +212,102 @@ def _fan_out_spans(backend: "StorageBackend",
 
 
 class LocalFileBackend(StorageBackend):
-    """Local-filesystem backend: one object per file under ``root``."""
+    """Local-filesystem backend: one object per file under ``root``.
+
+    ``durable=True`` arms the :meth:`sync` durability barrier: writes
+    and appends stay buffered (the kernel's write-back proceeds in the
+    background while later chunks are still being encoded), and the
+    barrier fsyncs the touched objects in one group — so the write
+    pipeline leaves payload bytes crash-safe *before* the catalog
+    transaction that names them commits, at a per-version rather than
+    per-chunk flush cost.  The fsync waits release the GIL and can be
+    fanned across the shared I/O pool (``max_workers``), which lets
+    the filesystem journal batch the commits.
+    """
 
     name = "local"
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, durable: bool = False):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
+        if durable:
+            self.name = "durable"
+        # Files created since the last barrier: their directory entries
+        # need an fsync too, but only once — appends to existing files
+        # never do (the entry is already durable).
+        self._fresh_files: set[Path] = set()
+        self._fresh_lock = threading.Lock()
 
     def _resolve(self, path: str) -> Path:
         return self.root / path
 
+    def _note_fresh(self, target: Path) -> None:
+        if self.durable and not target.exists():
+            with self._fresh_lock:
+                self._fresh_files.add(target)
+
     def write(self, path: str, payload: bytes) -> None:
         target = self._resolve(path)
         target.parent.mkdir(parents=True, exist_ok=True)
+        self._note_fresh(target)
         with open(target, "wb") as handle:
             handle.write(payload)
 
     def append(self, path: str, payload: bytes) -> int:
         target = self._resolve(path)
         target.parent.mkdir(parents=True, exist_ok=True)
+        self._note_fresh(target)
         with open(target, "ab") as handle:
             offset = handle.tell()
             handle.write(payload)
         return offset
+
+    def sync(self, paths: Sequence[str], *, max_workers: int = 0) -> None:
+        if not self.durable or not paths:
+            return
+        distinct = list(dict.fromkeys(paths))
+
+        def fsync_at(target: "Path") -> None:
+            fd = os.open(target, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+        def fsync_one(path: str) -> None:
+            fsync_at(self._resolve(path))
+
+        if max_workers > 1 and len(distinct) > 1:
+            # One task per object at the barrier's own I/O depth: the
+            # journal group-commits whatever flushes are in flight, so
+            # depth — not CPU parallelism — sets the batching factor.
+            pool = _sync_pool(self)
+            list(pool.map(fsync_one, distinct))
+        else:
+            for path in distinct:
+                fsync_one(path)
+        # A freshly created file is only crash-safe once its directory
+        # entry is too: fsync each distinct parent directory up to the
+        # backend root, or the barrier could survive the data but lose
+        # the name.  Appends to files whose entries an earlier barrier
+        # already flushed skip this — only fresh files pay it.
+        with self._fresh_lock:
+            fresh = [target for path in distinct
+                     if (target := self._resolve(path))
+                     in self._fresh_files]
+            self._fresh_files.difference_update(fresh)
+        directories: list[Path] = []
+        seen: set[Path] = set()
+        for target in fresh:
+            parent = target.parent
+            while parent not in seen and \
+                    parent.is_relative_to(self.root):
+                seen.add(parent)
+                directories.append(parent)
+                parent = parent.parent
+        for directory in directories:
+            fsync_at(directory)
 
     def read(self, path: str, offset: int, length: int) -> bytes:
         return self.read_many(path, [(offset, length)])[0]
@@ -342,6 +463,27 @@ class StripedBackend(StorageBackend):
         return self.child_for(path).read_many(path, spans,
                                               max_workers=max_workers)
 
+    def sync(self, paths: Sequence[str], *, max_workers: int = 0) -> None:
+        by_child: dict[int, tuple[StorageBackend, list[str]]] = {}
+        for path in paths:
+            child = self.child_for(path)
+            by_child.setdefault(id(child), (child, []))[1].append(path)
+        groups = list(by_child.values())
+
+        def sync_child(group: tuple[StorageBackend, list[str]]) -> None:
+            child, child_paths = group
+            child.sync(child_paths, max_workers=max_workers)
+
+        if max_workers > 1 and len(groups) > 1:
+            # The stripes are independent substrates: their group
+            # commits overlap, so the barrier costs the slowest child,
+            # not the sum of all of them.
+            pool = _sync_pool(self)
+            list(pool.map(sync_child, groups))
+        else:
+            for group in groups:
+                sync_child(group)
+
     def delete(self, prefix: str) -> None:
         for child in self.children:
             child.delete(prefix)
@@ -396,6 +538,8 @@ def resolve_backend(spec, root: str | Path) -> StorageBackend:
     """
     if spec is None or spec == "local":
         return LocalFileBackend(root)
+    if spec == "durable":
+        return LocalFileBackend(root, durable=True)
     if spec == "memory":
         return InMemoryBackend()
     if isinstance(spec, str) and spec.startswith("striped"):
@@ -403,8 +547,10 @@ def resolve_backend(spec, root: str | Path) -> StorageBackend:
         if child == "memory":
             return StripedBackend([InMemoryBackend()
                                    for _ in range(stripes)])
-        return StripedBackend([LocalFileBackend(Path(root) / f"stripe{i}")
-                               for i in range(stripes)])
+        return StripedBackend(
+            [LocalFileBackend(Path(root) / f"stripe{i}",
+                              durable=child == "durable")
+             for i in range(stripes)])
     if isinstance(spec, StorageBackend):
         return spec
     if callable(spec):

@@ -89,6 +89,23 @@ class ChunkStore:
         self.stats.record_open()
         return location
 
+    def sync_chunks(self, locations: list[ChunkLocation],
+                    max_workers: int | None = None) -> None:
+        """Durability barrier over the listed payloads' objects.
+
+        The write pipeline raises this barrier once per version — after
+        every placement, before the catalog transaction — so a catalog
+        row can never name bytes that would not survive a crash.  A
+        no-op unless the backend was opened in durable mode.
+        ``max_workers`` > 1 fans the flushes across the backend's I/O
+        pool (defaults to the store's configured degree).
+        """
+        paths = list(dict.fromkeys(location.path
+                                   for location in locations))
+        self.backend.sync(paths,
+                          max_workers=self.max_workers
+                          if max_workers is None else max_workers)
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -170,6 +187,7 @@ class ChunkStore:
                 self.stats.record_write(len(payload))
             self.backend.write(path, bytes(blob))
             self.stats.record_open()
+        self.backend.sync(list(by_path), max_workers=self.max_workers)
         return new_locations
 
     def total_bytes(self, array: str | None = None) -> int:

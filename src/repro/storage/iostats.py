@@ -19,9 +19,13 @@ reads over several worker handles, that remains *one* open here, so
 the chain-depth invariants stay comparable across workers settings.
 
 The counters are lock-protected: parallel chain reads (the decode
-pipeline's per-chunk fan-out) hammer one shared instance from many
+pipeline's per-chunk fan-out) and parallel chunk encodes (the encode
+pipeline's write-side fan-out) hammer one shared instance from many
 threads, and benchmark invariants like "file opens stay constant in
-chain depth" only hold if no increment is ever lost.
+chain depth" or "one encode task per chunk" only hold if no increment
+is ever lost.  The write side is covered by three counters:
+``encode_tasks`` (delta+compress units executed by the encode stage),
+``chunks_written``, and ``bytes_written`` (placements that follow).
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ class IOStats:
     bytes_written: int = 0
     chunks_read: int = 0
     chunks_written: int = 0
+    encode_tasks: int = 0
     file_opens: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -59,6 +64,16 @@ class IOStats:
         with self._lock:
             self.bytes_written += nbytes
             self.chunks_written += 1
+
+    def record_encode_task(self) -> None:
+        """Account one chunk encode task (the write pipeline's
+        delta+compress unit of work; ``chunks_written``/``bytes_written``
+        count the placements that follow).  The encode stage's parallel
+        fan-out must report exactly one task per chunk regardless of the
+        workers degree, so the counter shares the lock discipline of the
+        read-side counters."""
+        with self._lock:
+            self.encode_tasks += 1
 
     def record_open(self, count: int = 1) -> None:
         """Account ``count`` logical object opens (distinct objects

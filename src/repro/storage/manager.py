@@ -24,6 +24,7 @@ re-encoding of dependents, and layout re-organization (Section IV-E).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import time
 from pathlib import Path
@@ -41,6 +42,7 @@ from repro.storage.metadata import (
     ArrayRecord,
     ChunkRecord,
     MetadataCatalog,
+    VersionRecord,
 )
 from repro.storage.pipeline import (
     POLICY_AUTO,
@@ -107,7 +109,8 @@ class VersionedStorageManager:
         self.encoder = EncodePipeline(self.catalog, self.store,
                                       delta_policy=delta_policy,
                                       delta_codec=delta_codec,
-                                      cache=self.cache)
+                                      cache=self.cache,
+                                      workers=self.workers)
         self.decoder = DecodePipeline(self.catalog, self.store,
                                       cache=self.cache,
                                       workers=self.workers,
@@ -139,8 +142,9 @@ class VersionedStorageManager:
         return self.cache.info()
 
     def close(self) -> None:
-        """Release the catalog connection, the decode and span-read
-        executors, and cached chunks."""
+        """Release the catalog connection, the encode, decode, and
+        span-read executors, and cached chunks."""
+        self.encoder.close()
         self.decoder.close()
         self.store.backend.close()
         self.cache.clear()
@@ -195,34 +199,37 @@ class VersionedStorageManager:
     # Version creation
     # ------------------------------------------------------------------
     def insert(self, name: str, payload: Payload | ArrayData | np.ndarray,
-               timestamp: float | None = None) -> int:
+               timestamp: float | None = None, *,
+               workers: int | None = None) -> int:
         """Append a new version to an array (the Insert command).
 
         Accepts any of the paper's three payload forms (dense, sparse,
         delta-list), a normalized :class:`ArrayData`, or a bare ndarray
-        for single-attribute arrays.
+        for single-attribute arrays.  ``workers`` overrides the
+        manager's configured encode parallelism for this one insert.
+
+        The version row and all of its chunk rows commit in one
+        catalog transaction *after* every payload is placed: a
+        concurrent reader can never name a version whose chunks are
+        still being encoded, and a mid-encode failure (or a crash at
+        any point) leaves no catalog trace at all — nothing to roll
+        back or repair.
         """
         record = self.catalog.get_array(name)
         parent = self.catalog.latest_version(record.array_id)
         data = self._normalize_payload(record, payload)
         version = (parent or 0) + 1
-        self.catalog.add_version(record.array_id, version, parent,
-                                 kind="insert",
-                                 timestamp=timestamp or self._now())
-        try:
-            self._write_version(record, version, data,
-                                base_version=parent)
-        except BaseException:
-            # The chunk rows commit atomically (put_chunks), so a
-            # mid-write failure left zero of them; roll the version
-            # row back too and no partial version remains.
-            self.catalog.delete_version(record.array_id, version)
-            raise
+        self._write_version(record, version, data,
+                            base_version=parent, workers=workers,
+                            version_row=VersionRecord(
+                                record.array_id, version, parent,
+                                "insert", timestamp or self._now()))
         return version
 
     def branch(self, source_name: str, source_version: int,
                new_name: str,
-               timestamp: float | None = None) -> ArrayRecord:
+               timestamp: float | None = None, *,
+               workers: int | None = None) -> ArrayRecord:
         """Create a named branch rooted at a past version (Branch).
 
         "Branches are formed off of a particular version of an existing
@@ -239,11 +246,14 @@ class VersionedStorageManager:
             parent_version=source_version,
             chunk_shape=source.chunk_shape)
         try:
-            self.catalog.add_version(branch_record.array_id, 1, None,
-                                     kind="branch-root",
-                                     timestamp=timestamp or self._now())
+            # Version row + chunk rows commit together at the end, so
+            # the branch's root version appears only once readable.
             self._write_version(branch_record, 1, contents,
-                                base_version=None)
+                                base_version=None, workers=workers,
+                                version_row=VersionRecord(
+                                    branch_record.array_id, 1, None,
+                                    "branch-root",
+                                    timestamp or self._now()))
         except BaseException:
             # The branch is unusable without its root version; undo
             # the whole array so no partial branch remains.
@@ -252,7 +262,8 @@ class VersionedStorageManager:
         return branch_record
 
     def merge(self, parents: list[tuple[str, int]], new_name: str,
-              timestamp: float | None = None) -> ArrayRecord:
+              timestamp: float | None = None, *,
+              workers: int | None = None) -> ArrayRecord:
         """Combine parent versions into a new sequence of arrays (Merge).
 
         Per Section II-A, Merge "takes a collection of two or more parent
@@ -279,15 +290,15 @@ class VersionedStorageManager:
             for sequence, (parent_name, parent_version) in \
                     enumerate(parents, 1):
                 contents = self.select(parent_name, parent_version)
-                self.catalog.add_version(
-                    merged.array_id, sequence,
-                    sequence - 1 if sequence > 1 else None,
-                    kind="merge",
-                    timestamp=timestamp or self._now(),
+                self._write_version(
+                    merged, sequence, contents,
+                    base_version=sequence - 1 if sequence > 1 else None,
+                    workers=workers,
+                    version_row=VersionRecord(
+                        merged.array_id, sequence,
+                        sequence - 1 if sequence > 1 else None,
+                        "merge", timestamp or self._now()),
                     merge_parents=[(parent_name, parent_version)])
-                self._write_version(merged, sequence, contents,
-                                    base_version=sequence - 1
-                                    if sequence > 1 else None)
         except BaseException:
             # A merge is all-or-nothing: drop the half-replayed array
             # rather than leave a partial version sequence behind.
@@ -445,6 +456,30 @@ class VersionedStorageManager:
         record = self.catalog.get_array(name)
         return self.catalog.stored_bytes(record.array_id, version)
 
+    def fingerprint(self, name: str | None = None) -> str:
+        """SHA-256 over catalog rows and stored payload bytes, in
+        catalog order — equal fingerprints mean byte-identical stores.
+
+        Covers one array, or every array when ``name`` is None.  This
+        is the determinism observable the write-path conformance tests
+        and the ingest benchmark assert on (parallel encode may change
+        wall-clock only), and doubles as a cheap replica-comparison
+        probe.
+        """
+        digest = hashlib.sha256()
+        names = [name] if name is not None else self.list_arrays()
+        for array_name in names:
+            record = self.catalog.get_array(array_name)
+            for chunk in self.catalog.all_chunks(record.array_id):
+                digest.update(repr((
+                    array_name, chunk.version, chunk.attribute,
+                    chunk.chunk_name, chunk.delta_codec,
+                    chunk.base_version, chunk.compressor,
+                    chunk.location.path, chunk.location.offset,
+                    chunk.location.length)).encode())
+                digest.update(self.store.read_chunk(chunk.location))
+        return digest.hexdigest()
+
     def grid_for(self, record: ArrayRecord) -> ChunkGrid:
         """The chunk grid shared by every version of an array."""
         return ChunkGrid(record.schema.shape, record.schema.cell_size,
@@ -541,7 +576,11 @@ class VersionedStorageManager:
 
     def _write_version(self, record: ArrayRecord, version: int,
                        data: ArrayData, base_version: int | None,
-                       replace: bool = False) -> None:
+                       replace: bool = False,
+                       workers: int | None = None,
+                       version_row: VersionRecord | None = None,
+                       merge_parents: list[tuple[str, int]] | None = None
+                       ) -> None:
         """Reconstruct the base (when the policy deltas) and run the
         encode pipeline for one version."""
         base_data: ArrayData | None = None
@@ -550,7 +589,9 @@ class VersionedStorageManager:
         self.encoder.write_version(record, self.grid_for(record), version,
                                    data, base_data=base_data,
                                    base_version=base_version,
-                                   replace=replace)
+                                   replace=replace, workers=workers,
+                                   version_row=version_row,
+                                   merge_parents=merge_parents)
 
     def _reconstruct_chunk(self, record: ArrayRecord, version: int,
                            attribute: str, chunk: ChunkRef,
@@ -569,18 +610,20 @@ class VersionedStorageManager:
                  (chunk.version, chunk.attribute, chunk.chunk_name))
                 for chunk in live]
         new_locations = self.store.repack(record.name, keep)
-        for chunk in live:
-            key = (chunk.version, chunk.attribute, chunk.chunk_name)
-            self.catalog.put_chunk(ChunkRecord(
-                array_id=chunk.array_id,
-                version=chunk.version,
-                attribute=chunk.attribute,
-                chunk_name=chunk.chunk_name,
-                delta_codec=chunk.delta_codec,
-                base_version=chunk.base_version,
-                compressor=chunk.compressor,
-                location=new_locations[key],
-            ))
+        # All rewritten rows land in one transaction: a crash mid-way
+        # must never leave the catalog pointing at a mix of old and new
+        # locations.
+        self.catalog.put_chunks([ChunkRecord(
+            array_id=chunk.array_id,
+            version=chunk.version,
+            attribute=chunk.attribute,
+            chunk_name=chunk.chunk_name,
+            delta_codec=chunk.delta_codec,
+            base_version=chunk.base_version,
+            compressor=chunk.compressor,
+            location=new_locations[(chunk.version, chunk.attribute,
+                                    chunk.chunk_name)],
+        ) for chunk in live])
 
     def _now(self) -> float:
         # A strictly increasing logical clock keeps catalog timestamps

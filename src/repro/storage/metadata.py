@@ -406,19 +406,42 @@ class MetadataCatalog:
                                self._chunk_row(record))
             self._conn.commit()
 
-    def put_chunks(self, records: list[ChunkRecord]) -> None:
+    def put_chunks(self, records: list[ChunkRecord],
+                   version: VersionRecord | None = None,
+                   merge_parents: list[tuple[str, int]] | None = None
+                   ) -> None:
         """Insert or replace many chunk records in one transaction.
 
         This is the write path's batching primitive: every chunk row of
         a version commits atomically — observers see all of the
         version's rows or none, and a failure rolls the whole batch
-        back (leaving zero rows, never a partial version).
+        back (leaving zero rows, never a partial version).  Passing
+        ``version`` registers the version row *in the same
+        transaction*, so a freshly inserted version and its chunks are
+        indivisible: no crash or failure can leave one without the
+        other, and no reader can ever name a version that is not fully
+        readable.
         """
-        if not records:
+        if not records and version is None:
             return
         with self._lock:
             try:
                 self._conn.execute("BEGIN")
+                if version is not None:
+                    self._conn.execute(
+                        "INSERT INTO versions (array_id, version_num,"
+                        " parent_version, kind, timestamp)"
+                        " VALUES (?, ?, ?, ?, ?)",
+                        (version.array_id, version.version,
+                         version.parent_version, version.kind,
+                         version.timestamp))
+                    for parent_array, parent_num in merge_parents or []:
+                        self._conn.execute(
+                            "INSERT INTO merge_parents (array_id,"
+                            " version_num, parent_array, parent_version)"
+                            " VALUES (?, ?, ?, ?)",
+                            (version.array_id, version.version,
+                             parent_array, parent_num))
                 self._conn.executemany(
                     self._PUT_CHUNK_SQL,
                     [self._chunk_row(record) for record in records])

@@ -4,10 +4,14 @@ Figure 1 draws the insert and select paths as staged flows; the seed
 implementation fused both into ``VersionedStorageManager``.  This module
 makes the stages first-class:
 
-* :class:`EncodePipeline` — the insert path: **delta-encode** the chunk
-  against the policy-selected base, **compress** materialized chunks,
-  and **place** the payload in the chunk store, recording the encoding
-  decision in the Version Metadata;
+* :class:`EncodePipeline` — the insert path, staged as **plan**
+  (enumerate one encode task per (attribute, chunk) with its target and
+  base slices), **encode** (delta-encode against the policy-selected
+  base and compress, fanned across a shared thread pool when
+  ``workers`` > 1), and **commit** (place every payload in the chunk
+  store in deterministic task order, raise the backend's durability
+  barrier, then record all encoding decisions in the Version Metadata
+  in one transaction);
 * :class:`DecodePipeline` — the select path: **locate** the chunk's
   delta chain in the metadata, **read** the chain (batched, one backend
   open per distinct object), **decompress** the materialized root,
@@ -26,10 +30,12 @@ bookkeeping, version lineage, and layout re-organization.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -45,6 +51,7 @@ from repro.storage.metadata import (
     ArrayRecord,
     ChunkRecord,
     MetadataCatalog,
+    VersionRecord,
 )
 
 #: Insert-time delta policies.
@@ -205,19 +212,85 @@ class ChunkCache:
             }
 
 
-class EncodePipeline:
-    """The insert path: delta-encode → compress → place (Figure 1, left)."""
+class _PooledStage:
+    """Shared executor machinery for the encode and decode pipelines.
+
+    Each pipeline owns one lazily-created thread pool, sized at first
+    parallel call; a later call asking for more workers than the pool
+    holds still runs correctly, just with the original concurrency.
+    ``workers`` is the stage's default degree; per-call overrides
+    resolve through :meth:`_effective_workers` (None = the default).
+    """
+
+    _pool_prefix = "repro-stage"
+
+    def _init_pool(self, workers: int) -> None:
+        self.workers = workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Shut down the shared executor (idempotent)."""
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def _pool(self, workers: int) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(workers, self.workers),
+                    thread_name_prefix=self._pool_prefix)
+            return self._executor
+
+    def _effective_workers(self, workers: int | None) -> int:
+        return self.workers if workers is None else workers
+
+
+@dataclass(frozen=True)
+class EncodeTask:
+    """One (attribute, chunk) unit of the encode stage's fan-out.
+
+    Tasks are deliberately light — just coordinates.  The target and
+    base slices are materialized *inside* the encode stage (the input
+    canvases are shared read-only, which is thread-safe for numpy
+    views), so the copies in flight stay bounded by the dispatch
+    window rather than the whole version, and the serial path holds
+    one chunk's copies at a time exactly as the seed loop did.
+    """
+
+    attribute: str
+    chunk: ChunkRef
+
+
+class EncodePipeline(_PooledStage):
+    """The insert path: plan → encode → commit (Figure 1, left).
+
+    Chunk encoding (delta against the base slice, then compress) is
+    CPU-bound and independent per chunk, so the encode stage fans tasks
+    across a shared thread-pool executor when ``workers`` > 1 — the
+    write-side mirror of :class:`DecodePipeline`'s per-chunk fan-out.
+    Placement stays ordered: the commit stage collects encoding
+    decisions in task order and appends payloads in that same order, so
+    co-located append offsets — and therefore every stored byte and
+    catalog row — are identical for any worker count.
+    """
+
+    _pool_prefix = "repro-encode"
 
     def __init__(self, catalog: MetadataCatalog, store: ChunkStore, *,
                  delta_policy: str = POLICY_CHAIN,
                  delta_codec: str = "hybrid",
-                 cache: ChunkCache | None = None):
+                 cache: ChunkCache | None = None,
+                 workers: int = 0):
         ensure_policy(delta_policy)
         self.catalog = catalog
         self.store = store
         self.delta_policy = delta_policy
         self.delta_codec_name = delta_codec
         self.cache = cache if cache is not None else ChunkCache()
+        self._init_pool(workers)
 
     @property
     def wants_base(self) -> bool:
@@ -225,9 +298,27 @@ class EncodePipeline:
         reconstructing before encoding)."""
         return self.delta_policy != POLICY_MATERIALIZE
 
+    # ------------------------------------------------------------------
+    # Stage 1: plan
+    # ------------------------------------------------------------------
+    def plan_version(self, record: ArrayRecord,
+                     grid: ChunkGrid) -> list[EncodeTask]:
+        """Enumerate one encode task per (attribute, chunk).
+
+        Task order is the canonical commit order: attributes in schema
+        order, chunks in grid order — the same order the serial loop
+        always wrote, so refactoring to stages changed no stored byte.
+        """
+        return [EncodeTask(attribute=attr.name, chunk=chunk)
+                for attr in record.schema.attributes
+                for chunk in grid.chunks()]
+
+    # ------------------------------------------------------------------
+    # Stage 2: encode
+    # ------------------------------------------------------------------
     def encode_chunk(self, target: np.ndarray, base: np.ndarray | None,
                      compressor) -> EncodingDecision:
-        """Stage 1+2: pick and produce the chunk's representation."""
+        """Pick and produce one chunk's representation."""
         if self.delta_policy == POLICY_MATERIALIZE or base is None:
             return choose_encoding(target, None, compressor=compressor)
         if self.delta_policy == POLICY_CHAIN:
@@ -236,19 +327,84 @@ class EncodePipeline:
                                    candidates=(codec,))
         return choose_encoding(target, base, compressor=compressor)
 
+    def _encode_task(self, task: EncodeTask, data: ArrayData,
+                     base_data: ArrayData | None,
+                     compressor) -> EncodingDecision:
+        target = np.ascontiguousarray(
+            data.attribute(task.attribute)[task.chunk.slices()])
+        base = None
+        if base_data is not None:
+            base = np.ascontiguousarray(
+                base_data.attribute(task.attribute)[task.chunk.slices()])
+        decision = self.encode_chunk(target, base, compressor)
+        self.store.stats.record_encode_task()
+        return decision
+
+    def _encode_tasks(self, tasks: list[EncodeTask], data: ArrayData,
+                      base_data: ArrayData | None, compressor,
+                      workers: int):
+        """Yield each task's :class:`EncodingDecision` in task order.
+
+        The parallel path groups tasks into contiguous blocks (a few
+        per worker, so fine-grained grids do not pay one dispatch per
+        tiny chunk) and keeps a sliding window of ``workers + 1``
+        blocks in flight on the shared executor, yielding results in
+        submission order — the commit stage downstream consumes
+        decisions exactly as the serial loop produced them, placement
+        of early chunks overlaps the encoding of later ones, and the
+        encoded-payload memory in flight stays bounded by the window
+        rather than the whole version.
+        """
+        if workers > 1 and len(tasks) > 1:
+            pool = self._pool(workers)
+            step = -(-len(tasks) // (workers * 4))  # ceil division
+
+            def encode_block(block: list[EncodeTask]):
+                return [self._encode_task(task, data, base_data,
+                                          compressor)
+                        for task in block]
+
+            pending = (tasks[i:i + step]
+                       for i in range(0, len(tasks), step))
+            window: deque = deque(
+                pool.submit(encode_block, block)
+                for block in itertools.islice(pending, workers + 1))
+            while window:
+                future = window.popleft()
+                for block in itertools.islice(pending, 1):
+                    window.append(pool.submit(encode_block, block))
+                yield from future.result()
+        else:
+            for task in tasks:
+                yield self._encode_task(task, data, base_data,
+                                        compressor)
+
+    # ------------------------------------------------------------------
+    # Stage 3: commit
+    # ------------------------------------------------------------------
     def write_version(self, record: ArrayRecord, grid: ChunkGrid,
                       version: int, data: ArrayData, *,
                       base_data: ArrayData | None,
                       base_version: int | None,
-                      replace: bool = False) -> None:
+                      replace: bool = False,
+                      workers: int | None = None,
+                      version_row: VersionRecord | None = None,
+                      merge_parents: list[tuple[str, int]] | None = None
+                      ) -> None:
         """Encode and persist every chunk of one version.
 
-        The version's catalog rows are committed in **one** transaction
-        (:meth:`MetadataCatalog.put_chunks`) after every payload is
-        placed, so a mid-write failure leaves zero chunk rows in the
-        catalog — never a partially-described version.  (Orphaned
-        payload bytes in co-located objects are reclaimed by the next
-        repack.)
+        ``workers`` overrides the pipeline's configured encode
+        parallelism for this call; the stored bytes are identical either
+        way.  The version's catalog rows — and, when ``version_row`` is
+        given, the version row itself — are committed in **one**
+        transaction (:meth:`MetadataCatalog.put_chunks`) after every
+        payload is placed, so a mid-encode or mid-write failure leaves
+        zero chunk rows and no version row in the catalog — never a
+        partially-described version, and never a version a reader can
+        name but not read.  (Orphaned payload bytes in co-located
+        objects are reclaimed by the next repack.)  The chunk cache is
+        invalidated only *after* the catalog commit succeeds: a version
+        whose encode fails must not cold-start a perfectly good cache.
         """
         # Validate before any side effect: a rejected overwrite must
         # not invalidate a perfectly good cache.
@@ -258,37 +414,38 @@ class EncodePipeline:
             if existing:
                 raise NoOverwriteError(
                     f"version {version} of {record.name!r} already exists")
+        compressor = get_codec(record.compressor)
+        degree = self._effective_workers(workers)
+        tasks = self.plan_version(record, grid)
+        records: list[ChunkRecord] = []
+        for task, decision in zip(
+                tasks, self._encode_tasks(tasks, data, base_data,
+                                          compressor, degree)):
+            location = self.store.write_chunk(
+                record.name, version, task.attribute, task.chunk.name,
+                decision.payload)
+            records.append(ChunkRecord(
+                array_id=record.array_id,
+                version=version,
+                attribute=task.attribute,
+                chunk_name=task.chunk.name,
+                delta_codec=decision.delta_codec,
+                base_version=base_version if decision.is_delta
+                else None,
+                compressor=record.compressor,
+                location=location,
+            ))
+        # Durability barrier, then the transaction: the catalog must
+        # never name bytes that would not survive a crash.
+        self.store.sync_chunks([chunk.location for chunk in records],
+                               max_workers=degree)
+        self.catalog.put_chunks(records, version=version_row,
+                                merge_parents=merge_parents)
         if self.cache.enabled:
             self.cache.invalidate_array(record.array_id)
-        compressor = get_codec(record.compressor)
-        records: list[ChunkRecord] = []
-        for attr in record.schema.attributes:
-            target_full = data.attribute(attr.name)
-            base_full = base_data.attribute(attr.name) \
-                if base_data is not None else None
-            for chunk in grid.chunks():
-                target = np.ascontiguousarray(target_full[chunk.slices()])
-                base = np.ascontiguousarray(base_full[chunk.slices()]) \
-                    if base_full is not None else None
-                decision = self.encode_chunk(target, base, compressor)
-                location = self.store.write_chunk(
-                    record.name, version, attr.name, chunk.name,
-                    decision.payload)
-                records.append(ChunkRecord(
-                    array_id=record.array_id,
-                    version=version,
-                    attribute=attr.name,
-                    chunk_name=chunk.name,
-                    delta_codec=decision.delta_codec,
-                    base_version=base_version if decision.is_delta
-                    else None,
-                    compressor=record.compressor,
-                    location=location,
-                ))
-        self.catalog.put_chunks(records)
 
 
-class DecodePipeline:
+class DecodePipeline(_PooledStage):
     """The select path: locate → read chain → decompress → delta-decode
     → assemble (Figure 1, right; Figure 2's read pattern).
 
@@ -306,6 +463,8 @@ class DecodePipeline:
     instead of re-walking the chain once per version later.
     """
 
+    _pool_prefix = "repro-decode"
+
     def __init__(self, catalog: MetadataCatalog, store: ChunkStore, *,
                  cache: ChunkCache | None = None,
                  workers: int = 0,
@@ -313,34 +472,8 @@ class DecodePipeline:
         self.catalog = catalog
         self.store = store
         self.cache = cache if cache is not None else ChunkCache()
-        self.workers = workers
         self.prefetch = prefetch
-        self._executor: ThreadPoolExecutor | None = None
-        self._executor_lock = threading.Lock()
-
-    def close(self) -> None:
-        """Shut down the shared executor (idempotent)."""
-        with self._executor_lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
-
-    def _pool(self, workers: int) -> ThreadPoolExecutor:
-        """The shared executor, created lazily at first parallel read.
-
-        Sized at creation; a later call asking for more workers than
-        the pool holds still runs correctly, just with the original
-        concurrency.
-        """
-        with self._executor_lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=max(workers, self.workers),
-                    thread_name_prefix="repro-decode")
-            return self._executor
-
-    def _effective_workers(self, workers: int | None) -> int:
-        return self.workers if workers is None else workers
+        self._init_pool(workers)
 
     def reconstruct(self, record: ArrayRecord, version: int,
                     attribute: str, chunk: ChunkRef,

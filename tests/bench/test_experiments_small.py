@@ -163,6 +163,26 @@ class TestFigureAndAblations:
                     row["chain_depth"] * row["chunks_overlapping_query"]
         assert json.loads(out.read_text()) == rows
 
+    def test_ingest_small(self, tmp_path):
+        import json
+
+        from repro.bench import ingest
+
+        out = tmp_path / "BENCH_ingest.json"
+        rows = ingest.run(versions=3, shape=(32, 32), chunk_bytes=1024,
+                          backends=("memory", "durable"), workers=(1, 2),
+                          repeats=1, workdir=str(tmp_path),
+                          json_path=out, quiet=True)
+        assert {row["workers"] for row in rows} == {1, 2}
+        # The workers axis changes wall-clock only: one fingerprint
+        # over catalog rows + payload bytes for the whole grid.
+        assert len({row["fingerprint"] for row in rows}) == 1
+        assert all(row["identical_to_serial"] for row in rows)
+        for row in rows:
+            assert row["encode_tasks"] == row["chunks_written"]
+            assert row["versions_per_sec"] > 0
+        assert json.loads(out.read_text()) == rows
+
     def test_chunk_sweep_small(self, tmp_path):
         rows = ablations.run_chunk_sweep(
             versions=3, shape=(64, 64), budgets=(1024, 8192),

@@ -182,6 +182,167 @@ class TestInMemoryCluster:
                                backend=InMemoryBackend())
 
 
+class TestClusterBranchMerge:
+    @pytest.fixture(params=[0, 4])
+    def filled(self, tmp_path, rng, request):
+        cluster = ClusterCoordinator(tmp_path, nodes=3, chunk_bytes=512,
+                                     backend="memory",
+                                     workers=request.param)
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema)
+        versions = []
+        data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+        for _ in range(3):
+            versions.append(data)
+            cluster.insert("A", data)
+            data = data + 1
+        yield cluster, versions
+        cluster.close()
+
+    def test_branch_every_node(self, filled):
+        cluster, versions = filled
+        cluster.branch("A", 2, "B")
+        assert cluster.list_arrays() == ["A", "B"]
+        np.testing.assert_array_equal(cluster.select("B", 1).single(),
+                                      versions[1])
+        # The branch keeps evolving independently of the source.
+        cluster.insert("B", versions[1] + 10)
+        np.testing.assert_array_equal(cluster.select("B", 2).single(),
+                                      versions[1] + 10)
+        np.testing.assert_array_equal(cluster.select("A", 3).single(),
+                                      versions[2])
+
+    def test_merge_every_node(self, filled):
+        cluster, versions = filled
+        cluster.merge([("A", 1), ("A", 3)], "M")
+        assert cluster.get_versions("M") == [1, 2]
+        np.testing.assert_array_equal(cluster.select("M", 1).single(),
+                                      versions[0])
+        np.testing.assert_array_equal(cluster.select("M", 2).single(),
+                                      versions[2])
+
+    def test_merge_requires_two_parents(self, filled):
+        cluster, _ = filled
+        with pytest.raises(StorageError):
+            cluster.merge([("A", 1)], "M")
+        assert cluster.list_arrays() == ["A"]
+
+    def test_branch_onto_existing_name_rejected_without_damage(
+            self, filled):
+        cluster, versions = filled
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("B", schema)
+        cluster.insert("B", versions[0] * 2)
+        with pytest.raises(StorageError):
+            cluster.branch("A", 1, "B")
+        # The pre-existing B survives untouched on every node.
+        assert cluster.list_arrays() == ["A", "B"]
+        np.testing.assert_array_equal(cluster.select("B", 1).single(),
+                                      versions[0] * 2)
+
+    def test_merge_onto_existing_name_rejected_without_damage(
+            self, filled):
+        cluster, versions = filled
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("B", schema)
+        cluster.insert("B", versions[0] * 2)
+        with pytest.raises(StorageError):
+            cluster.merge([("A", 1), ("A", 2)], "B")
+        np.testing.assert_array_equal(cluster.select("B", 1).single(),
+                                      versions[0] * 2)
+
+    def test_insert_rollback_waits_for_stragglers(self, tmp_path, rng):
+        """A fast-failing node must not let a slow node's insert land
+        after compensation ran — rollback waits for every node."""
+        import time
+
+        cluster = ClusterCoordinator(tmp_path, nodes=3, chunk_bytes=512,
+                                     backend="memory", workers=4)
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema)
+        data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+        cluster.insert("A", data)
+
+        fast_fail = cluster.managers[0]
+        slow = cluster.managers[2]
+        original_fail = fast_fail.insert
+        original_slow = slow.insert
+
+        def failing_insert(*args, **kwargs):
+            raise StorageError("node down")
+
+        def slow_insert(*args, **kwargs):
+            time.sleep(0.05)
+            return original_slow(*args, **kwargs)
+
+        fast_fail.insert = failing_insert
+        slow.insert = slow_insert
+        with pytest.raises(StorageError):
+            cluster.insert("A", data + 1)
+        fast_fail.insert = original_fail
+        slow.insert = original_slow
+
+        for manager in cluster.managers:
+            assert manager.get_versions("A") == [1]
+        assert cluster.insert("A", data + 1) == 2
+        cluster.close()
+
+    def test_branch_onto_unregistered_node_array_rejected(self, filled):
+        """Node catalogs may hold arrays the session-scoped registry
+        has never seen; branch/merge must not destroy them."""
+        cluster, versions = filled
+        schema = ArraySchema.simple((4, 8), dtype=np.int32)
+        for manager in cluster.managers:  # bypass the coordinator
+            manager.create_array("B", schema)
+            manager.insert("B", np.ones((4, 8), dtype=np.int32))
+        with pytest.raises(StorageError):
+            cluster.branch("A", 1, "B")
+        for manager in cluster.managers:
+            np.testing.assert_array_equal(
+                manager.select("B", 1).single(),
+                np.ones((4, 8), dtype=np.int32))
+
+    def test_failed_node_insert_rolls_back_landed_nodes(self, filled):
+        cluster, versions = filled
+        victim = cluster.managers[-1]
+        original = victim.insert
+
+        def failing_insert(*args, **kwargs):
+            raise StorageError("node down")
+
+        victim.insert = failing_insert
+        with pytest.raises(StorageError):
+            cluster.insert("A", versions[-1] + 50)
+        victim.insert = original
+        # Every node is still at the old head, so the cluster stays in
+        # step and the next insert lands cleanly everywhere.
+        for manager in cluster.managers:
+            assert manager.get_versions("A") == [1, 2, 3]
+        assert cluster.insert("A", versions[-1] + 50) == 4
+        np.testing.assert_array_equal(cluster.select("A", 4).single(),
+                                      versions[-1] + 50)
+
+    def test_failed_branch_leaves_no_node_partial(self, filled):
+        cluster, versions = filled
+        victim = cluster.managers[-1]
+        original = victim.branch
+
+        def failing_branch(*args, **kwargs):
+            raise StorageError("node down")
+
+        victim.branch = failing_branch
+        with pytest.raises(StorageError):
+            cluster.branch("A", 2, "B")
+        victim.branch = original
+        # No node keeps a partial branch, and the name is reusable.
+        for manager in cluster.managers:
+            assert manager.list_arrays() == ["A"]
+        assert cluster.list_arrays() == ["A"]
+        cluster.branch("A", 2, "B")
+        np.testing.assert_array_equal(cluster.select("B", 1).single(),
+                                      versions[1])
+
+
 class TestValidation:
     def test_zero_nodes_rejected(self, tmp_path):
         with pytest.raises(StorageError):
@@ -233,6 +394,30 @@ class TestClusterWorkers:
         assert all(manager.workers == 3
                    for manager in cluster.managers)
         cluster.close()
+
+    def test_parallel_insert_fans_nodes(self, tmp_path, rng):
+        """Concurrent node inserts land the same versions and bytes as
+        the serial node loop."""
+        schema = ArraySchema.simple((24, 10), dtype=np.int32)
+        serial = ClusterCoordinator(tmp_path / "serial", nodes=3,
+                                    chunk_bytes=512, backend="memory")
+        parallel = ClusterCoordinator(tmp_path / "parallel", nodes=3,
+                                      chunk_bytes=512, backend="memory",
+                                      workers=4)
+        for cluster in (serial, parallel):
+            cluster.create_array("A", schema)
+        data = rng.integers(0, 100, (24, 10)).astype(np.int32)
+        for _ in range(3):
+            assert serial.insert("A", data) == parallel.insert("A", data)
+            data = data + 1
+        for version in (1, 2, 3):
+            np.testing.assert_array_equal(
+                parallel.select("A", version).single(),
+                serial.select("A", version).single())
+        for left, right in zip(serial.managers, parallel.managers):
+            assert left.stored_bytes("A") == right.stored_bytes("A")
+        serial.close()
+        parallel.close()
 
     def test_striped_nodes(self, tmp_path, rng):
         """Each node can itself stripe its payloads."""

@@ -31,6 +31,8 @@ from repro.storage import (
 def _make_backend(kind: str, tmp_path) -> StorageBackend:
     if kind == "local":
         return LocalFileBackend(tmp_path / "store")
+    if kind == "durable":
+        return LocalFileBackend(tmp_path / "store", durable=True)
     if kind == "memory":
         return InMemoryBackend()
     if kind == "striped-local":
@@ -39,7 +41,7 @@ def _make_backend(kind: str, tmp_path) -> StorageBackend:
     return StripedBackend([InMemoryBackend() for _ in range(3)])
 
 
-@pytest.fixture(params=["local", "memory", "striped-local",
+@pytest.fixture(params=["local", "durable", "memory", "striped-local",
                         "striped-memory"])
 def backend(request, tmp_path) -> StorageBackend:
     return _make_backend(request.param, tmp_path)

@@ -60,6 +60,44 @@ class TestCLI:
         assert "M v1" in out   # materialized root
         assert "Δ v2" in out   # delta child
 
+    def test_ingest_creates_and_appends(self, store, tmp_path, capsys):
+        files = []
+        for index in range(2):
+            data = np.full((6, 6), index + 1, dtype=np.int64)
+            path = tmp_path / f"frame{index}.npy"
+            np.save(path, data)
+            files.append(str(path))
+        assert main([str(store), "--workers", "2", "ingest", "Scans",
+                     *files]) == 0
+        out = capsys.readouterr().out
+        assert "v1" in out and "v2" in out
+        assert "ingested 2 version(s)" in out
+        assert "encode tasks" in out
+        with Database(store) as db:
+            assert db.versions("Scans") == [1, 2]
+            np.testing.assert_array_equal(
+                db.select("Scans@2"), np.full((6, 6), 2, dtype=np.int64))
+
+    def test_ingest_existing_array(self, store, tmp_path, capsys):
+        data = np.arange(64, dtype=np.int32).reshape(8, 8)
+        path = tmp_path / "next.npy"
+        np.save(path, data + 5)
+        assert main([str(store), "ingest", "Example", str(path)]) == 0
+        assert "v3" in capsys.readouterr().out
+        with Database(store) as db:
+            np.testing.assert_array_equal(db.select("Example@3"),
+                                          data + 5)
+
+    def test_ingest_missing_file_fails_before_side_effects(
+            self, store, tmp_path, capsys):
+        data = np.ones((4, 4), dtype=np.int32)
+        path = tmp_path / "ok.npy"
+        np.save(path, data)
+        assert main([str(store), "ingest", "Scans", str(path),
+                     str(tmp_path / "typo.npy")]) == 2
+        with Database(store) as db:
+            assert "Scans" not in db.manager.list_arrays()
+
     def test_sql(self, store, capsys):
         assert main([str(store), "sql", "VERSIONS(Example);"]) == 0
         out = capsys.readouterr().out
