@@ -8,7 +8,6 @@ storage manager actually operates on.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.compression import get_codec

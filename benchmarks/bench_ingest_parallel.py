@@ -1,8 +1,10 @@
 """Experiment I1 — ingest throughput through the staged write pipeline.
 
 The sweep runs the workers axis (serial vs parallel encode fan-out)
-against four backends (buffered local files, durable local files with
-the group-commit fsync barrier, in-memory, and striped local).  The
+against five backends (buffered local files, durable local files with
+the group-commit fsync barrier, in-memory, striped local, and the
+S3-style object store with its multipart staging + finalize
+barrier).  The
 wall-clock columns are hardware-dependent and asserted nowhere; what
 must hold everywhere is the determinism contract: every cell stores
 byte-identical payloads at byte-identical locations with identical
@@ -17,10 +19,11 @@ from repro.bench import ingest
 
 def bench_ingest_parallel(run_once):
     rows = run_once(ingest.run,
-                    backends=("local", "durable", "memory", "striped:2"),
+                    backends=("local", "durable", "memory", "striped:2",
+                              "object"),
                     workers=(1, 4), json_path="BENCH_ingest.json")
 
-    assert len(rows) == 8
+    assert len(rows) == 10
     # The parallel write pipeline may change wall-clock only: one
     # fingerprint — catalog rows plus stored payload bytes — across
     # every backend and every workers degree.

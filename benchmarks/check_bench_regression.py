@@ -1,0 +1,16 @@
+"""CI gate: compare fresh bench artifacts against the committed copies.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        .bench-committed/BENCH_ingest.json BENCH_ingest.json
+
+Exits non-zero when any committed row's ``fingerprint`` column has no
+byte-identical counterpart in the fresh artifact — see
+:mod:`repro.bench.regression` for the matching rules.
+"""
+
+from repro.bench.regression import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

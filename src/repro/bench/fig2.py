@@ -12,13 +12,21 @@ reports *file opens* next to *chunks read*: with co-located placement
 the whole chain of one chunk lives in one object, so the batched chain
 read opens as many objects as the region overlaps chunks — constant in
 chain depth — while payload reads grow linearly.  The optional backend
-axis (``backends=("local", "memory")``) runs the same sweep against
-the in-memory backend for a disk-free baseline, and the workers axis
-(``workers=(1, 4)``) repeats it under parallel chunk reconstruction —
-the counters (and the constant-opens invariant) must be identical to
-the serial run, with the query wall-clock reported per cell.
-``json_path`` writes every row to a JSON artifact (``BENCH_fig2.json``
-in CI).
+axis (``backends=("local", "memory", "object")``) runs the same sweep
+against the in-memory backend for a disk-free baseline and against the
+S3-style object store, where the same invariant reappears one level
+down: the chain's spans coalesce into *ranged GETs*, and ``ranged_gets``
+stays constant in chain depth exactly like ``file_opens`` (the
+``bytes_over_fetched`` column shows what the request-size floor traded
+for those round trips).  The workers axis (``workers=(1, 4)``) repeats
+everything under parallel chunk reconstruction — the counters (and the
+constant-opens invariant) must be identical to the serial run, with the
+query wall-clock reported per cell.  Each row also carries the store's
+SHA-256 ``fingerprint``: equal across every cell of one depth (no
+backend or workers degree may change a stored byte), and stable across
+runs — the regression gate CI compares against the committed
+``BENCH_fig2.json``.  ``json_path`` writes every row to that JSON
+artifact.
 """
 
 from __future__ import annotations
@@ -89,7 +97,10 @@ def run(max_chain: int = 6, *, backends=None, workers=None,
                         "chunks_overlapping_query": 2,
                         "chunks_read": window.chunks_read,
                         "file_opens": window.file_opens,
+                        "ranged_gets": window.ranged_gets,
+                        "bytes_over_fetched": window.bytes_over_fetched,
                         "select_seconds": clock.seconds,
+                        "fingerprint": manager.fingerprint(ARRAY),
                     })
                     manager.close()
 
@@ -100,15 +111,17 @@ def run(max_chain: int = 6, *, backends=None, workers=None,
             "Figure 2: chunk reads for a 2-chunk region query vs chain "
             "depth (depth 3 = the paper's 6-chunk diagram)",
             ["Backend", "Workers", "Chain Depth", "Chunks In Region",
-             "Chunks Read", "File Opens"],
+             "Chunks Read", "File Opens", "Ranged GETs", "Over-fetched"],
             [[row["backend"], str(row["workers"]),
               str(row["chain_depth"]),
               str(row["chunks_overlapping_query"]),
               str(row["chunks_read"]),
-              str(row["file_opens"])] for row in rows])
+              str(row["file_opens"]),
+              str(row["ranged_gets"]),
+              str(row["bytes_over_fetched"])] for row in rows])
     return rows
 
 
 if __name__ == "__main__":  # pragma: no cover
-    run(backends=("local", "memory"), workers=(1, 4),
+    run(backends=("local", "memory", "object"), workers=(1, 4),
         json_path="BENCH_fig2.json")

@@ -18,7 +18,11 @@ and the commit stage places full-size payloads — the cost of the write
 pipeline itself, not of any one delta codec (Tables I/II bench those).
 The ``durable`` backend cell fsyncs every placement, which is where
 the stage overlap shows even on a single core: the commit stage waits
-on the device while the encode stage keeps the CPU busy.  Pass
+on the device while the encode stage keeps the CPU busy.  The
+``object`` cell runs the S3-style emulation — placements stage
+multipart parts and the per-version barrier finalizes them in one
+fanned pass, so the identity fingerprint also proves the staged
+uploads commit byte-for-byte what local files would.  Pass
 ``delta_policy="chain"`` for the CPU-bound profile instead (every
 version delta-encoded against its parent); that cell's throughput
 scales with *cores*, so on a one-core host the extra worker threads
@@ -160,5 +164,5 @@ def run(versions: int = 12, shape: tuple[int, ...] = (1024, 1024),
 
 
 if __name__ == "__main__":  # pragma: no cover
-    run(backends=("local", "durable", "memory", "striped:2"),
+    run(backends=("local", "durable", "memory", "striped:2", "object"),
         workers=(1, 4), json_path="BENCH_ingest.json")

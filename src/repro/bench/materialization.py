@@ -31,7 +31,6 @@ import numpy as np
 from repro.bench.harness import fmt_bytes, fmt_seconds, print_table, timed
 from repro.compression import LempelZivCodec
 from repro.datasets import (
-    noaa_series,
     panorama_series,
     paper_n2_series,
     paper_n3_series,

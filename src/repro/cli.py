@@ -34,7 +34,7 @@ from repro.bench.harness import fmt_bytes, fmt_seconds
 from repro.core.errors import StorageError
 from repro.core.schema import ArraySchema
 from repro.query.engine import Database
-from repro.storage.backend import BACKEND_NAMES, parse_striped_spec
+from repro.storage.backend import ensure_backend_spec
 from repro.storage.pipeline import resolve_workers
 
 
@@ -178,18 +178,13 @@ def _cmd_sql(db: Database, args) -> int:
 def _backend_spec(text: str) -> str:
     """argparse type for ``--backend``: validate the spec *before* the
     store is opened (the ``ensure_policy`` pattern — a bad flag must
-    fail before any directory or catalog file is created)."""
-    if text in BACKEND_NAMES:
-        return text
-    if text.startswith("striped"):
-        try:
-            parse_striped_spec(text)
-        except StorageError as exc:
-            raise argparse.ArgumentTypeError(str(exc)) from None
-        return text
-    raise argparse.ArgumentTypeError(
-        f"unknown backend {text!r}; expected one of {BACKEND_NAMES}"
-        " or 'striped:<n>[:memory]'")
+    fail before any directory or catalog file is created).  Delegates
+    to the storage layer's own validator so the CLI and the
+    ``backend=`` kwarg can never drift."""
+    try:
+        return ensure_backend_spec(text)
+    except StorageError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _workers_count(text: str) -> int:
@@ -217,8 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="storage backend for chunk payloads"
                              " (default: local files; 'memory' starts"
                              " an empty ephemeral store;"
-                             " 'striped:<n>[:memory]' stripes objects"
-                             " over n child backends)")
+                             " 'object[:durable]' is the S3-style"
+                             " object store — ranged GETs, multipart"
+                             " append; 'striped:<n>[:<child>]' stripes"
+                             " objects over n child backends, child in"
+                             " {local,durable,memory,object})")
     parser.add_argument("--workers", type=_workers_count, default=None,
                         help="parallel chunk encode/reconstruction"
                              " degree, applied to reads and to ingest"

@@ -37,11 +37,14 @@ class ClusterCoordinator:
     """Fans array operations out to per-node storage managers.
 
     ``backend`` selects the byte substrate of every node: a registry
-    name (``"local"``, ``"memory"``) or a factory called with each
-    node's root, so every node gets its *own* backend instance — an
+    name or spec (``"local"``, ``"memory"``, ``"object[:durable]"``,
+    ``"striped:<n>[:<child>]"``) or a factory called with each node's
+    root, so every node gets its *own* backend instance — an
     all-in-memory cluster (``backend="memory"``) simulates multi-node
-    behaviour with zero disk I/O.  A ready backend instance is rejected
-    because the nodes must not share state.
+    behaviour with zero disk I/O, and ``backend="object"`` runs every
+    node against its own S3-style object map, the deployment shape of
+    a cluster whose nodes each own a bucket prefix.  A ready backend
+    instance is rejected because the nodes must not share state.
 
     ``workers`` is per-node parallelism: each node's manager fans its
     chunk encodes and reconstructions across its own executors, and

@@ -17,7 +17,7 @@ delta lists, the contents of the base version).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import numpy as np
 
@@ -147,7 +147,7 @@ class ArrayData:
 def _sliced_schema(schema: ArraySchema, lo: tuple[int, ...],
                    hi: tuple[int, ...]) -> ArraySchema:
     """Schema for a hyper-rectangle slice (multi-attribute case)."""
-    from repro.core.schema import Attribute, Dimension
+    from repro.core.schema import Dimension
 
     dims = tuple(
         Dimension(d.name, 0, h - l)

@@ -24,9 +24,7 @@ from repro.core import bitpack, numeric
 from repro.core.errors import CodecError
 from repro.core.serial import (
     pack_i64,
-    pack_u8,
     unpack_i64,
-    unpack_u8,
 )
 from repro.delta import codes as code_store
 from repro.delta.base import DeltaCodec

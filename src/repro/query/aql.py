@@ -24,7 +24,7 @@ example, which selects a 2x2x2 cube from a 3x3x3 stack.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np

@@ -9,10 +9,15 @@ pipelines into the paper's versioned-array semantics.
 
 from repro.storage.backend import (
     BACKEND_NAMES,
+    OBJECT_REQUEST_FLOOR,
     InMemoryBackend,
     LocalFileBackend,
+    ObjectStoreBackend,
     StorageBackend,
     StripedBackend,
+    default_backend_spec,
+    ensure_backend_spec,
+    parse_object_spec,
     parse_striped_spec,
     resolve_backend,
 )
@@ -62,6 +67,8 @@ __all__ = [
     "InMemoryBackend",
     "LocalFileBackend",
     "MetadataCatalog",
+    "OBJECT_REQUEST_FLOOR",
+    "ObjectStoreBackend",
     "PER_VERSION",
     "POLICY_AUTO",
     "POLICY_CHAIN",
@@ -70,6 +77,9 @@ __all__ = [
     "StripedBackend",
     "VersionRecord",
     "VersionedStorageManager",
+    "default_backend_spec",
+    "ensure_backend_spec",
+    "parse_object_spec",
     "parse_striped_spec",
     "resolve_backend",
     "stride_for",

@@ -8,7 +8,7 @@ keyed byte-container contract (write / append / read / read_many /
 delete) that lets new substrates (memory, sharded stores, eventually
 object storage) drop in without touching encoding semantics.
 
-Three implementations ship today:
+Four implementations ship today:
 
 * :class:`LocalFileBackend` — the paper's local filesystem, one object
   per file under a root directory; ``durable=True`` (registry name
@@ -22,7 +22,15 @@ Three implementations ship today:
 * :class:`StripedBackend` — spreads objects over N child backends by a
   deterministic hash of the object path, so independent chunk chains
   land on independent substrates and parallel readers do not contend
-  on one device.
+  on one device;
+* :class:`ObjectStoreBackend` — S3 semantics emulated over a local
+  object map (no network dependency): objects are immutable blobs,
+  ``write`` is a whole-object PUT, ``append`` stages a part of a
+  multipart upload that :meth:`~StorageBackend.sync` finalizes into a
+  new committed object, and reads are **ranged GETs** coalesced under
+  a configurable request-size floor.  The backend advertises
+  ``high_latency = True`` so the chunk store batches requests harder
+  (per-request cost dominates on an object store, not bytes moved).
 
 ``read_many`` is the performance-critical batched read: a co-located
 delta chain lives at many ``(offset, length)`` spans of *one* object,
@@ -44,16 +52,20 @@ import shutil
 import threading
 import zlib
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Sequence
+from bisect import bisect_right
+from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.core.errors import StorageError
+from repro.storage.iostats import IOStats
 
 #: Names accepted by :func:`resolve_backend` (and the CLI / bench axis).
-#: ``striped:<n>`` and ``striped:<n>:<child>`` specs are also accepted —
-#: see :func:`parse_striped_spec`.
-BACKEND_NAMES = ("local", "memory", "durable")
+#: ``striped:<n>[:<child>]`` and ``object[:durable]`` specs are also
+#: accepted — see :func:`parse_striped_spec` / :func:`parse_object_spec`;
+#: :func:`ensure_backend_spec` validates any of them without side
+#: effects.
+BACKEND_NAMES = ("local", "memory", "durable", "object")
 
 #: A backend spec: a registry name, a ready instance, or a factory
 #: called with the store root (so multi-node deployments can build one
@@ -76,6 +88,23 @@ class StorageBackend(ABC):
     name: str = "abstract"
     #: True when the backend holds no durable state (nothing on disk).
     ephemeral: bool = False
+    #: The backend's latency profile: True when per-request cost
+    #: dominates per-byte cost (object stores), so callers should
+    #: batch harder — coalesce spans into fewer, larger requests and
+    #: fan independent requests concurrently — rather than minimize
+    #: bytes moved.  Local and in-memory substrates leave this False.
+    high_latency: bool = False
+
+    def bind_stats(self, stats: "IOStats") -> None:
+        """Attach an :class:`IOStats` sink for backend-level counters.
+
+        The chunk store binds its own stats instance at construction so
+        request-level accounting (ranged GETs, over-fetched bytes) lands
+        in the same report as the chunk-level I/O.  The default is a
+        no-op — only backends with request-level behaviour worth
+        counting (the object store) record anything; composites forward
+        the sink to their children.
+        """
 
     @abstractmethod
     def write(self, path: str, payload: bytes) -> None:
@@ -113,14 +142,34 @@ class StorageBackend(ABC):
         fsyncing every listed object; ``max_workers`` > 1 fans the
         fsyncs across the shared I/O pool, letting the filesystem
         journal batch the commits instead of paying one full flush per
-        object.  The write pipeline calls this once per version, after
+        object.  On the object store the barrier is a **finalize
+        barrier**: every listed object's pending multipart upload is
+        completed, so the staged parts become committed object bytes.
+        The write pipeline calls this once per version, after
         placement and before the catalog transaction, so a catalog row
-        can never name bytes the kernel still held in memory.
+        can never name bytes the kernel still held in memory (or an
+        upload nobody completed).
         """
 
     @abstractmethod
     def delete(self, prefix: str) -> None:
-        """Remove the object at ``prefix`` or every object under it."""
+        """Remove the object at ``prefix`` or every object under it.
+
+        The contract (conformance-tested across every backend,
+        striped children included):
+
+        * ``prefix`` naming an **object** removes exactly that object;
+        * ``prefix`` naming a **subtree** removes every object whose
+          path starts with ``prefix + "/"`` — prefixes match only at
+          ``/`` component boundaries, so ``delete("A/ch")`` never
+          touches ``A/chunks/...``;
+        * deleting a missing prefix is a silent no-op (idempotent);
+        * on composites the prefix may cover objects on every child,
+          so the delete fans to all of them;
+        * on the object store, pending multipart uploads under the
+          prefix are aborted as well — a deleted object can never be
+          resurrected by a later finalize.
+        """
 
     @abstractmethod
     def total_bytes(self, prefix: str = "") -> int:
@@ -406,7 +455,8 @@ class InMemoryBackend(StorageBackend):
         return payloads
 
     def delete(self, prefix: str) -> None:
-        subtree = prefix.rstrip("/") + "/"
+        prefix = prefix.rstrip("/")
+        subtree = prefix + "/"
         stale = [key for key in self._objects
                  if key == prefix or key.startswith(subtree)]
         for key in stale:
@@ -442,6 +492,15 @@ class StripedBackend(StorageBackend):
             raise StorageError("a striped backend needs at least one child")
         self.children = children
         self.ephemeral = all(child.ephemeral for child in children)
+        # One high-latency stripe makes the composite request-cost
+        # dominated: the routing hash cannot steer hot objects away
+        # from the slow child, so callers must batch as if every
+        # request could land there.
+        self.high_latency = any(child.high_latency for child in children)
+
+    def bind_stats(self, stats: "IOStats") -> None:
+        for child in self.children:
+            child.bind_stats(stats)
 
     def child_for(self, path: str) -> StorageBackend:
         """The stripe owning ``path`` (deterministic across processes)."""
@@ -497,6 +556,264 @@ class StripedBackend(StorageBackend):
         super().close()
 
 
+#: Default request-size floor for the object store's ranged GETs.  An
+#: object-store request costs a fixed round trip regardless of size, so
+#: a GET shorter than this floor is extended (clamped to the object's
+#: end) and near-by spans are coalesced into one request; the bytes
+#: fetched beyond what was asked for are counted in
+#: ``IOStats.bytes_over_fetched``.
+OBJECT_REQUEST_FLOOR = 64 * 1024
+
+
+class ObjectStoreBackend(StorageBackend):
+    """S3-semantics backend emulated over a local object map.
+
+    The emulation keeps the contract of a real object store without any
+    network dependency — committed objects live as immutable blobs in a
+    local map (one file per object under ``root``, so a store written
+    here has the same on-disk layout as :class:`LocalFileBackend`),
+    and the three S3-shaped behaviours the storage stack must survive
+    are faithful:
+
+    * **Immutable objects, multipart append.**  ``write`` is a
+      whole-object PUT (committed immediately).  An object store has no
+      append, so ``append`` *stages a part* of a multipart upload and
+      returns the offset the part will occupy; :meth:`sync` is the
+      finalize barrier that completes the upload, composing the
+      committed object and the staged parts into a new committed
+      object.  The write pipeline raises that barrier once per version
+      — between placement and the catalog transaction — so a catalog
+      row never names bytes still sitting in an incomplete upload.
+      :meth:`close` *aborts* pending uploads instead (the S3
+      abort-multipart analogue): an upload nobody finalized never
+      becomes object bytes.
+    * **Ranged GETs.**  ``read``/``read_many`` address committed bytes
+      through ``(offset, length)`` range requests.  Spans are sorted,
+      each GET is extended to at least ``request_floor`` bytes (clamped
+      at the object's end), and overlapping or floor-adjacent spans
+      coalesce into one request — per-request cost dominates, so the
+      batched read trades bytes for round trips.  Every request is
+      counted in ``IOStats.ranged_gets`` and every byte fetched beyond
+      the requested spans in ``IOStats.bytes_over_fetched`` (via
+      :meth:`bind_stats`).
+    * **Read-your-writes.**  A GET only addresses committed bytes; a
+      read that needs bytes still staged in a pending upload first
+      completes that upload.  Reads entirely inside the committed
+      region never finalize, so readers of committed versions proceed
+      while a writer is still staging the next version's parts.
+
+    ``durable=True`` (spec ``"object:durable"``) additionally fsyncs
+    committed objects at the barrier, stacking the local durability leg
+    on top of the finalize — useful when the "object store" is a local
+    directory standing in for a remote one.
+    """
+
+    name = "object"
+    high_latency = True
+
+    def __init__(self, root: str | Path, durable: bool = False,
+                 request_floor: int = OBJECT_REQUEST_FLOOR):
+        if request_floor < 0:
+            raise StorageError(
+                f"object store request floor must be >= 0, got "
+                f"{request_floor}")
+        self.durable = durable
+        self.request_floor = request_floor
+        self.stats: IOStats | None = None
+        # The committed object map: one immutable blob per path.  A
+        # local file backend already speaks exactly that layout (and
+        # owns the durable-mode fsync machinery), so the emulation
+        # composes one rather than reimplementing it.
+        self._committed = LocalFileBackend(root, durable=durable)
+        self.root = self._committed.root
+        # path -> staged parts of that object's pending multipart
+        # upload, in arrival order.  Guarded by one lock: the write
+        # pipeline stages serially, but reads may finalize and the
+        # barrier drains, possibly from other threads.
+        self._staged: dict[str, list[bytes]] = {}
+        self._stage_lock = threading.Lock()
+
+    def bind_stats(self, stats: "IOStats") -> None:
+        self.stats = stats
+
+    # -- introspection -------------------------------------------------
+    def pending_parts(self, path: str | None = None) -> int:
+        """Staged (not yet finalized) parts for ``path``, or in total.
+
+        The finalize-barrier tests observe this: parts accumulate
+        between placements and must drop to zero at the barrier.
+        """
+        with self._stage_lock:
+            if path is not None:
+                return len(self._staged.get(path, ()))
+            return sum(len(parts) for parts in self._staged.values())
+
+    # -- helpers -------------------------------------------------------
+    def _committed_size(self, path: str) -> int:
+        target = self._committed._resolve(path)
+        try:
+            return target.stat().st_size
+        except FileNotFoundError:
+            return -1  # no committed object (≠ empty object)
+
+    def _finalize_locked(self, path: str) -> None:
+        """Complete ``path``'s pending upload (caller holds the lock)."""
+        parts = self._staged.pop(path, None)
+        if parts:
+            self._committed.append(path, b"".join(parts))
+
+    def _matches(self, key: str, prefix: str) -> bool:
+        prefix = prefix.rstrip("/")
+        return key == prefix or key.startswith(prefix + "/")
+
+    # -- writes --------------------------------------------------------
+    def write(self, path: str, payload: bytes) -> None:
+        with self._stage_lock:
+            # A wholesale PUT supersedes any pending upload of the
+            # same object.
+            self._staged.pop(path, None)
+            self._committed.write(path, payload)
+
+    def append(self, path: str, payload: bytes) -> int:
+        with self._stage_lock:
+            parts = self._staged.setdefault(path, [])
+            offset = max(self._committed_size(path), 0) + \
+                sum(len(part) for part in parts)
+            parts.append(bytes(payload))
+        return offset
+
+    def sync(self, paths: Sequence[str], *, max_workers: int = 0) -> None:
+        distinct = list(dict.fromkeys(paths))
+        # The emulated finalize is a memory-compose + local append, so
+        # it runs serially under the staging lock (offset accounting
+        # must never race a concurrent append); a remote backend would
+        # fan its complete-multipart round trips at ``max_workers``
+        # here instead.
+        with self._stage_lock:
+            for path in distinct:
+                self._finalize_locked(path)
+        # Durable mode stacks the local fsync barrier on top of the
+        # finalize (fanned at ``max_workers``); otherwise the
+        # committed map's sync is a no-op.
+        self._committed.sync(distinct, max_workers=max_workers)
+
+    # -- reads ---------------------------------------------------------
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        return self.read_many(path, [(offset, length)])[0]
+
+    def read_many(self, path: str,
+                  spans: Sequence[tuple[int, int]], *,
+                  max_workers: int = 0) -> list[bytes]:
+        spans = list(spans)
+        if not spans:
+            return []
+        need = max(offset + length for offset, length in spans)
+        with self._stage_lock:
+            size = self._committed_size(path)
+            if need > max(size, 0) and path in self._staged:
+                # Read-your-writes: the request reaches into a pending
+                # upload, so complete it first — a GET only addresses
+                # committed objects.
+                self._finalize_locked(path)
+                size = self._committed_size(path)
+        if size < 0:
+            raise StorageError(f"missing chunk file {self.root / path}")
+        for offset, length in spans:
+            if offset + length > size:
+                raise StorageError(
+                    f"chunk file {self.root / path} truncated: wanted "
+                    f"{length} bytes at {offset}, got "
+                    f"{max(0, size - offset)}")
+        gets = self._plan_gets(spans, size)
+        payloads = self._committed.read_many(path, gets,
+                                             max_workers=max_workers)
+        buffers = {start: payload
+                   for (start, _), payload in zip(gets, payloads)}
+        starts = [start for start, _ in gets]
+        results = []
+        for offset, length in spans:
+            # The GET covering this span is the last one starting at or
+            # before it (GETs are disjoint and cover every span).
+            index = bisect_right(starts, offset) - 1
+            start = starts[index]
+            results.append(buffers[start][offset - start:
+                                          offset - start + length])
+        if self.stats is not None:
+            fetched = sum(length for _, length in gets)
+            wanted = _union_bytes(spans)
+            self.stats.record_ranged_gets(len(gets), fetched - wanted)
+        return results
+
+    def _plan_gets(self, spans: Sequence[tuple[int, int]],
+                   size: int) -> list[tuple[int, int]]:
+        """Coalesce requested spans into ranged-GET requests.
+
+        Each GET runs from its first span's offset to at least
+        ``request_floor`` bytes further (clamped at the object's end),
+        and a span starting inside that reach merges into the GET
+        rather than opening a new request — so near-by chain payloads
+        cost one round trip, and no request is ever shorter than the
+        floor unless the object itself is.
+        """
+        gets: list[list[int]] = []  # [start, furthest requested byte]
+        for offset, length in sorted(set(spans)):
+            if gets:
+                start, data_end = gets[-1]
+                reach = max(data_end, start + self.request_floor)
+                if offset <= reach:
+                    gets[-1][1] = max(data_end, offset + length)
+                    continue
+            gets.append([offset, offset + length])
+        return [(start, min(max(data_end, start + self.request_floor),
+                            size) - start)
+                for start, data_end in gets]
+
+    # -- maintenance ---------------------------------------------------
+    def delete(self, prefix: str) -> None:
+        with self._stage_lock:
+            stale = [key for key in self._staged
+                     if self._matches(key, prefix)]
+            for key in stale:
+                del self._staged[key]
+            self._committed.delete(prefix)
+
+    def total_bytes(self, prefix: str = "") -> int:
+        # A read-only probe: pending parts are *counted* (they are
+        # bytes the caller handed the store, exactly as a local
+        # backend's buffered append counts), never finalized — an
+        # observation must not commit somebody else's in-flight
+        # upload.
+        with self._stage_lock:
+            staged = sum(
+                len(part)
+                for key, parts in self._staged.items()
+                if not prefix or self._matches(key, prefix)
+                for part in parts)
+            return self._committed.total_bytes(prefix) + staged
+
+    def close(self) -> None:
+        with self._stage_lock:
+            # Abort, not finalize: parts nobody synced belong to
+            # versions that never committed (the catalog transaction
+            # follows the barrier), so persisting them would only
+            # manufacture debris for the next repack.
+            self._staged.clear()
+        self._committed.close()
+        super().close()
+
+
+def _union_bytes(spans: Sequence[tuple[int, int]]) -> int:
+    """Bytes covered by at least one ``(offset, length)`` span."""
+    total = 0
+    covered_to = 0
+    for offset, length in sorted(spans):
+        end = offset + length
+        if end > covered_to:
+            total += end - max(offset, covered_to)
+            covered_to = end
+    return total
+
+
 def parse_striped_spec(spec: str) -> tuple[int, str]:
     """Validate a ``striped:<n>[:<child>]`` spec string.
 
@@ -526,27 +843,103 @@ def parse_striped_spec(spec: str) -> tuple[int, str]:
     return stripes, child
 
 
+def parse_object_spec(spec: str) -> bool:
+    """Validate an ``object[:durable]`` spec string.
+
+    Returns the durable flag; raises :class:`StorageError` on malformed
+    specs so callers can validate configuration before any side effect
+    (the same validate-before-side-effects rule as
+    :func:`parse_striped_spec`).
+    """
+    parts = spec.split(":")
+    if parts[0] != "object" or len(parts) > 2:
+        raise StorageError(
+            f"malformed object backend spec {spec!r}; expected"
+            " 'object' or 'object:durable'")
+    if len(parts) == 1:
+        return False
+    if parts[1] != "durable":
+        raise StorageError(
+            f"object backend spec {spec!r} names unknown mode"
+            f" {parts[1]!r}; the only mode is 'durable'")
+    return True
+
+
+def ensure_backend_spec(spec: str) -> str:
+    """Validate a string backend spec without building anything.
+
+    Accepts the :data:`BACKEND_NAMES` registry names plus the
+    ``striped:<n>[:<child>]`` and ``object[:durable]`` spec forms —
+    exactly what :func:`resolve_backend` accepts as strings.  The CLI
+    and the test-suite's ``REPRO_BACKEND`` handling both validate
+    through here, so a bad flag or a misconfigured CI matrix cell fails
+    loudly before any directory or catalog is created.
+    """
+    if spec in BACKEND_NAMES:
+        return spec
+    if spec.startswith("striped"):
+        parse_striped_spec(spec)
+        return spec
+    if spec.startswith("object"):
+        parse_object_spec(spec)
+        return spec
+    raise StorageError(
+        f"unknown storage backend {spec!r}; expected one of "
+        f"{BACKEND_NAMES}, 'object[:durable]', or"
+        " 'striped:<n>[:<child>]'")
+
+
+def default_backend_spec() -> str:
+    """The spec used when a caller passes ``backend=None``.
+
+    Defers to the ``REPRO_BACKEND`` environment variable — the CI
+    matrix runs the whole storage/query/cluster subset over the object
+    path this way, mirroring how ``REPRO_WORKERS`` forces the
+    parallelism degree — and falls back to the paper's local files.
+    Malformed values are rejected loudly: an env cell silently falling
+    back to local files would make the object-backend matrix row test
+    nothing.
+    """
+    raw = os.environ.get("REPRO_BACKEND")
+    if raw is None or raw == "":
+        return "local"
+    try:
+        return ensure_backend_spec(raw)
+    except StorageError as exc:
+        raise StorageError(f"REPRO_BACKEND: {exc}") from None
+
+
 def resolve_backend(spec, root: str | Path) -> StorageBackend:
     """Turn a backend spec into a concrete backend instance.
 
-    ``spec`` may be None (default: local files under ``root``), one of
-    :data:`BACKEND_NAMES`, a ``striped:<n>[:<child>]`` spec (N stripes
-    under ``root/stripe<i>``, or N in-memory stripes), a ready
+    ``spec`` may be None (default: the ``REPRO_BACKEND`` environment
+    variable, else local files under ``root``), one of
+    :data:`BACKEND_NAMES`, an ``object[:durable]`` spec (the S3-style
+    emulation rooted at ``root``), a ``striped:<n>[:<child>]`` spec (N
+    stripes under ``root/stripe<i>``, or N in-memory stripes), a ready
     :class:`StorageBackend`, or a factory callable invoked with
     ``root`` — the factory form is what lets a cluster coordinator
     construct one independent backend per node.
     """
-    if spec is None or spec == "local":
+    if spec is None:
+        spec = default_backend_spec()
+    if spec == "local":
         return LocalFileBackend(root)
     if spec == "durable":
         return LocalFileBackend(root, durable=True)
     if spec == "memory":
         return InMemoryBackend()
+    if isinstance(spec, str) and spec.startswith("object"):
+        return ObjectStoreBackend(root, durable=parse_object_spec(spec))
     if isinstance(spec, str) and spec.startswith("striped"):
         stripes, child = parse_striped_spec(spec)
         if child == "memory":
             return StripedBackend([InMemoryBackend()
                                    for _ in range(stripes)])
+        if child == "object":
+            return StripedBackend(
+                [ObjectStoreBackend(Path(root) / f"stripe{i}")
+                 for i in range(stripes)])
         return StripedBackend(
             [LocalFileBackend(Path(root) / f"stripe{i}",
                               durable=child == "durable")
@@ -562,4 +955,5 @@ def resolve_backend(spec, root: str | Path) -> StorageBackend:
         return backend
     raise StorageError(
         f"unknown storage backend {spec!r}; expected one of "
-        f"{BACKEND_NAMES}, a StorageBackend, or a factory callable")
+        f"{BACKEND_NAMES}, 'object[:durable]', 'striped:<n>[:<child>]',"
+        " a StorageBackend, or a factory callable")

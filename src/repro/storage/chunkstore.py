@@ -27,11 +27,13 @@ catalog.
 from __future__ import annotations
 
 import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.errors import StorageError
-from repro.storage.backend import StorageBackend, resolve_backend
+from repro.storage.backend import SYNC_FAN, StorageBackend, resolve_backend
 from repro.storage.iostats import IOStats
 
 PER_VERSION = "per-version"
@@ -62,9 +64,18 @@ class ChunkStore:
         self.placement = placement
         self.stats = stats if stats is not None else IOStats()
         self.backend = resolve_backend(backend, Path(root))
+        # Request-level counters (ranged GETs, over-fetched bytes) land
+        # in the same stats instance as the chunk-level accounting.
+        self.backend.bind_stats(self.stats)
         #: Span-level read parallelism handed to the backend's
         #: ``read_many`` fan-out path (0/1 = serial).
         self.max_workers = max_workers
+        # Per-object request fan-out for high-latency backends (see
+        # read_chunks); lazily created, distinct from the backend's
+        # span pools so an outer per-path task never waits on an inner
+        # span task queued to the same saturated pool.
+        self._path_executor: ThreadPoolExecutor | None = None
+        self._path_lock = threading.Lock()
 
     def _chunk_path(self, array: str, version: int, attribute: str,
                     chunk_name: str) -> str:
@@ -96,15 +107,24 @@ class ChunkStore:
         The write pipeline raises this barrier once per version — after
         every placement, before the catalog transaction — so a catalog
         row can never name bytes that would not survive a crash.  A
-        no-op unless the backend was opened in durable mode.
+        no-op on a plain local backend; durable backends fsync here,
+        and the object store finalizes every pending multipart upload.
         ``max_workers`` > 1 fans the flushes across the backend's I/O
-        pool (defaults to the store's configured degree).
+        pool (defaults to the store's configured degree).  On a
+        high-latency backend the degree is raised to the barrier's
+        I/O depth even when the CPU-oriented workers degree is serial,
+        so whatever per-object waiting the barrier involves — the
+        durable mode's fsync leg today, real finalize round trips on a
+        remote store — overlaps rather than serializes.  (The local
+        emulation's finalize composition itself is lock-serialized;
+        see :meth:`ObjectStoreBackend.sync`.)
         """
         paths = list(dict.fromkeys(location.path
                                    for location in locations))
-        self.backend.sync(paths,
-                          max_workers=self.max_workers
-                          if max_workers is None else max_workers)
+        degree = self.max_workers if max_workers is None else max_workers
+        if self.backend.high_latency:
+            degree = max(degree, SYNC_FAN)
+        self.backend.sync(paths, max_workers=degree)
 
     # ------------------------------------------------------------------
     # Reading
@@ -127,23 +147,55 @@ class ChunkStore:
         object's spans across the backend's thread-pool fan-out; the
         accounting is unchanged — one logical open per distinct object.
         Payloads are returned in ``locations`` order.
+
+        The batching adapts to the backend's latency profile: on a
+        high-latency (object-store) backend, per-request cost dominates
+        per-byte cost, so when the read covers several distinct objects
+        the per-object requests are issued **concurrently** (each one
+        already coalesces its spans into few ranged GETs) instead of
+        sharding spans within one object — the decode path's chain and
+        prefetch reads pay the round trip once per object, overlapped,
+        rather than once per span, serialized.
         """
         by_path: dict[str, list[int]] = {}
         for index, location in enumerate(locations):
             by_path.setdefault(location.path, []).append(index)
 
         payloads: list[bytes | None] = [None] * len(locations)
-        for path, indexes in by_path.items():
+
+        def read_path(path: str, indexes: list[int],
+                      span_workers: int) -> None:
             spans = [(locations[i].offset, locations[i].length)
                      for i in indexes]
             self.stats.record_open()
             for i, payload in zip(indexes,
                                   self.backend.read_many(
                                       path, spans,
-                                      max_workers=self.max_workers)):
+                                      max_workers=span_workers)):
                 self.stats.record_read(len(payload))
                 payloads[i] = payload
+
+        if self.backend.high_latency and self.max_workers > 1 and \
+                len(by_path) > 1:
+            # Request-cost-dominated substrate: fan whole objects, not
+            # spans (span workers stay serial inside each task so the
+            # two fan levels never share — and never deadlock — a pool).
+            pool = self._path_pool()
+            list(pool.map(lambda item: read_path(item[0], item[1], 0),
+                          by_path.items()))
+        else:
+            for path, indexes in by_path.items():
+                read_path(path, indexes, self.max_workers)
         return payloads  # type: ignore[return-value]
+
+    def _path_pool(self) -> ThreadPoolExecutor:
+        """One lazily-created per-object request executor per store."""
+        with self._path_lock:
+            if self._path_executor is None:
+                self._path_executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-store-path")
+            return self._path_executor
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -193,3 +245,12 @@ class ChunkStore:
     def total_bytes(self, array: str | None = None) -> int:
         """Bytes stored under one array (or the whole store)."""
         return self.backend.total_bytes(array or "")
+
+    def close(self) -> None:
+        """Shut down the per-object request executor and the backend
+        (idempotent; a later read simply recreates the pool)."""
+        with self._path_lock:
+            pool, self._path_executor = self._path_executor, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self.backend.close()

@@ -18,6 +18,13 @@ logical: when the backend's parallel span fan-out shards one object's
 reads over several worker handles, that remains *one* open here, so
 the chain-depth invariants stay comparable across workers settings.
 
+The object-store backend adds request-level accounting: every ranged
+GET it issues is counted in ``ranged_gets``, and every byte the
+request-size floor or span coalescing fetched beyond what was asked
+for lands in ``bytes_over_fetched`` — so the request-batching
+trade-off (fewer round trips, more bytes) is visible in the same
+report as the chunk- and handle-level counters it trades against.
+
 The counters are lock-protected: parallel chain reads (the decode
 pipeline's per-chunk fan-out) and parallel chunk encodes (the encode
 pipeline's write-side fan-out) hammer one shared instance from many
@@ -45,6 +52,8 @@ class IOStats:
     chunks_written: int = 0
     encode_tasks: int = 0
     file_opens: int = 0
+    ranged_gets: int = 0
+    bytes_over_fetched: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -80,6 +89,15 @@ class IOStats:
         accessed; parallel span shards of one object count once)."""
         with self._lock:
             self.file_opens += count
+
+    def record_ranged_gets(self, count: int, over_fetched: int) -> None:
+        """Account ``count`` ranged-GET requests that together fetched
+        ``over_fetched`` bytes beyond the spans actually asked for (the
+        request-size floor and span coalescing trade bytes for round
+        trips; both sides of that trade are recorded)."""
+        with self._lock:
+            self.ranged_gets += count
+            self.bytes_over_fetched += over_fetched
 
     def record_cache_hit(self) -> None:
         """Account one chunk-cache hit (a read the cache absorbed)."""

@@ -9,7 +9,8 @@ update creates a new version.
 The manager is an orchestrator over three separable layers:
 
 * the **backend** (:mod:`repro.storage.backend`) holds bytes — local
-  files by default, memory or future substrates by injection;
+  files by default, memory, striped composites, or the S3-style object
+  store by injection (``backend="object"``);
 * the **pipelines** (:mod:`repro.storage.pipeline`) encode the insert
   path (delta-encode → compress → place) and decode the select path
   (locate → read chain → decompress → delta-decode → assemble), sharing
@@ -143,10 +144,13 @@ class VersionedStorageManager:
 
     def close(self) -> None:
         """Release the catalog connection, the encode, decode, and
-        span-read executors, and cached chunks."""
+        store/backend executors, and cached chunks.  On the object
+        backend this also aborts any pending multipart uploads —
+        staged parts of versions that never reached their finalize
+        barrier are dropped, never silently committed."""
         self.encoder.close()
         self.decoder.close()
-        self.store.backend.close()
+        self.store.close()
         self.cache.clear()
         self.catalog.close()
 

@@ -436,7 +436,11 @@ class EncodePipeline(_PooledStage):
                 location=location,
             ))
         # Durability barrier, then the transaction: the catalog must
-        # never name bytes that would not survive a crash.
+        # never name bytes that would not survive a crash.  On the
+        # object backend the same call is the finalize barrier that
+        # completes every multipart upload this version staged (the
+        # store raises the fan to the barrier's I/O depth when
+        # per-request cost dominates).
         self.store.sync_chunks([chunk.location for chunk in records],
                                max_workers=degree)
         self.catalog.put_chunks(records, version=version_row,
@@ -461,6 +465,14 @@ class DecodePipeline(_PooledStage):
     version resolved along the walk is admitted to the cache in the
     same pass (deepest first, requested version most-recently-used)
     instead of re-walking the chain once per version later.
+
+    The chain reads inherit the backend's latency profile through the
+    chunk store: on a high-latency (object-store) backend each chain's
+    spans coalesce into few ranged GETs and multi-object reads fan
+    their per-object requests concurrently, so a cold chain walk costs
+    round trips per *object*, not per payload — which is exactly what
+    makes the prefetch's decode-whole-chain-once policy pay for itself
+    there.
     """
 
     _pool_prefix = "repro-decode"

@@ -8,7 +8,6 @@ in the unit suite.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import (
     ablations,

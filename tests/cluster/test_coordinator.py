@@ -182,6 +182,36 @@ class TestInMemoryCluster:
                                backend=InMemoryBackend())
 
 
+class TestObjectStoreCluster:
+    """Every node runs against its own S3-style object map — the
+    deployment shape of a cluster whose nodes each own a bucket
+    prefix."""
+
+    def test_end_to_end_and_no_pending_uploads(self, tmp_path, rng):
+        from repro.storage import ObjectStoreBackend
+
+        cluster = ClusterCoordinator(tmp_path, nodes=3, chunk_bytes=512,
+                                     backend="object", workers=4)
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema)
+        versions = []
+        data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+        for _ in range(3):
+            versions.append(data)
+            cluster.insert("A", data)
+            data = data + 1
+        for number, expected in enumerate(versions, 1):
+            np.testing.assert_array_equal(
+                cluster.select("A", number).single(), expected)
+        for manager in cluster.managers:
+            assert isinstance(manager.backend, ObjectStoreBackend)
+            # Every committed version finalized its uploads at the
+            # barrier; no node is left holding staged parts.
+            assert manager.backend.pending_parts() == 0
+        assert cluster.stored_bytes("A") > 0
+        cluster.close()
+
+
 class TestClusterBranchMerge:
     @pytest.fixture(params=[0, 4])
     def filled(self, tmp_path, rng, request):

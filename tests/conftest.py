@@ -1,9 +1,37 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The suite honors two environment knobs the CI matrix sweeps:
+
+* ``REPRO_WORKERS`` — the default parallelism degree of every manager
+  (``resolve_workers``), so ``workers=4`` runs the whole subset through
+  the encode/decode thread pools;
+* ``REPRO_BACKEND`` — the default storage backend spec of every
+  manager (``resolve_backend``), so ``object`` runs the same subset
+  against the S3-style object path (ranged GETs, multipart staging).
+
+Both are validated once, up front: a matrix cell with a typo must fail
+the whole session loudly, not silently test the serial/local path
+under a parallel/object label.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+from repro.storage.backend import ensure_backend_spec
+from repro.storage.pipeline import resolve_workers
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _validate_matrix_env() -> None:
+    """Fail fast on a malformed ``REPRO_BACKEND`` / ``REPRO_WORKERS``."""
+    spec = os.environ.get("REPRO_BACKEND")
+    if spec:
+        ensure_backend_spec(spec)
+    resolve_workers(None)
 
 
 @pytest.fixture

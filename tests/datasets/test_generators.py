@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import numeric
 from repro.datasets import (
     ConceptNetGenerator,
     conceptnet_series,

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.compression import LempelZivCodec
 from repro.delta import HybridDeltaCodec, choose_encoding, get_delta_codec

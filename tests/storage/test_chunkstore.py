@@ -48,8 +48,14 @@ class TestWriteRead:
 
 
 class TestPlacementLayouts:
+    # These assert the *local filesystem* layout (one file per object,
+    # appends growing one file), so they pin backend="local" instead of
+    # inheriting the REPRO_BACKEND matrix default — the object backend
+    # stages appends in a pending upload and only materializes the file
+    # at the finalize barrier.
     def test_per_version_one_file_per_version(self, tmp_path):
-        store = ChunkStore(tmp_path, placement=PER_VERSION)
+        store = ChunkStore(tmp_path, placement=PER_VERSION,
+                           backend="local")
         store.write_chunk("A", 1, "value", "c.dat", b"v1")
         store.write_chunk("A", 2, "value", "c.dat", b"v2")
         files = sorted(p.relative_to(tmp_path).as_posix()
@@ -57,7 +63,8 @@ class TestPlacementLayouts:
         assert files == ["A/v1/value/c.dat", "A/v2/value/c.dat"]
 
     def test_colocated_appends_to_one_file(self, tmp_path):
-        store = ChunkStore(tmp_path, placement=COLOCATED)
+        store = ChunkStore(tmp_path, placement=COLOCATED,
+                           backend="local")
         loc1 = store.write_chunk("A", 1, "value", "c.dat", b"v1..")
         loc2 = store.write_chunk("A", 2, "value", "c.dat", b"v2..")
         files = list(tmp_path.rglob("*.dat"))
@@ -67,7 +74,12 @@ class TestPlacementLayouts:
 
 
 class TestMaintenance:
-    def test_delete_array_removes_files(self, store, tmp_path):
+    @pytest.mark.parametrize("placement", [PER_VERSION, COLOCATED])
+    def test_delete_array_removes_files(self, tmp_path, placement):
+        # Disk-level assertion, so pinned to the local backend (the
+        # backend-agnostic delete contract lives in test_backends).
+        store = ChunkStore(tmp_path, placement=placement,
+                           backend="local")
         store.write_chunk("A", 1, "value", "c.dat", b"data")
         store.write_chunk("B", 1, "value", "c.dat", b"keep")
         store.delete_array("A")

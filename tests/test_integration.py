@@ -9,7 +9,6 @@ every stored version reads back byte-exact.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
