@@ -1,0 +1,48 @@
+"""Experiment C1 — replicated cluster: failover reads + resharding.
+
+The sweep runs the (nodes x replication) grid — unreplicated baseline,
+the production R=2 shape, full triplication — each cell ingesting the
+same deterministic dataset, reading it back through a killed node, and
+resharding onto one more node.  Wall-clock columns are hardware-
+dependent and asserted nowhere; what must hold everywhere is the
+replication contract: one *logical* cluster fingerprint across every
+cell and across every reshard, reads that survive a dead host exactly
+when a quorum exists (failing loudly when it does not), failovers
+counted exactly when they happened, and exact replica-write
+accounting.  The rows land in ``BENCH_cluster.json`` (uploaded as a CI
+artifact and gated against the committed copy like the other
+fingerprint artifacts).
+"""
+
+from repro.bench import cluster
+
+
+def bench_cluster_failover(run_once):
+    rows = run_once(cluster.run, json_path="BENCH_cluster.json")
+
+    assert len(rows) == 3
+    # One logical fingerprint: node count, replication factor, and
+    # resharding may change wall-clock only, never a served byte.
+    assert len({row["fingerprint"] for row in rows}) == 1
+    assert all(row["identical_to_reference"] for row in rows)
+    assert all(row["identical_after_rebalance"] for row in rows)
+
+    for row in rows:
+        if row["replication"] == 1:
+            # No quorum: the killed node's band is gone and the reads
+            # say so loudly instead of serving partial data.
+            assert not row["killed_read_ok"]
+        else:
+            # A surviving quorum serves every read, and the failovers
+            # are counted exactly (one per read touching a dead copy).
+            assert row["killed_read_ok"]
+            assert row["killed_failovers"] >= row["versions"]
+        # Exact replication accounting: every version landed one
+        # redundant copy per extra replica per band.
+        assert row["replica_writes"] == \
+            row["versions"] * row["nodes"] * (row["replication"] - 1)
+        assert row["migrated_chunks"] > 0
+        assert row["versions_per_sec"] > 0
+
+    # Both degraded and replicated cells actually ran.
+    assert {row["replication"] for row in rows} == {1, 2, 3}

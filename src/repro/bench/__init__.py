@@ -7,6 +7,7 @@ from paper artifact to module is DESIGN.md's per-experiment index.
 
 from repro.bench import (
     ablations,
+    cluster,
     fig2,
     ingest,
     materialization,
@@ -23,6 +24,7 @@ from repro.bench.harness import fmt_bytes, fmt_seconds, print_table, timed
 
 __all__ = [
     "ablations",
+    "cluster",
     "fig2",
     "fmt_bytes",
     "fmt_seconds",

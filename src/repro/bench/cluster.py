@@ -1,0 +1,153 @@
+"""Cluster replication — failover reads and resharding under load.
+
+The paper's Section II deployment partitions each array across several
+storage-system nodes; this experiment measures the coordinator that
+makes that deployment survivable.  Each cell runs a (nodes x
+replication) cluster over per-node in-memory backends, ingests a
+deterministic multi-version dataset, then exercises the two scenarios
+replication exists for:
+
+* **kill-one-node** — one physical host is marked dead (taking its
+  primary band *and* the neighbor replica it carries, the chained-
+  declustering failure shape) and the full read mix replays: with
+  ``replication=1`` the reads fail loudly (no quorum), with
+  ``replication>=2`` every read lands on the surviving copies, with
+  the failover count reported alongside the degraded-mode wall clock;
+* **rebalance** — the cluster reshards onto ``nodes+1`` and the row
+  records the migrated-chunk count and whether the logical cluster
+  fingerprint stayed byte-identical (it must).
+
+Wall-clock columns are hardware-dependent and asserted nowhere.  What
+must hold in every cell: **one fingerprint** — the logical SHA-256
+over every array's reassembled versions is identical across node
+counts, replication factors, and before/after resharding — plus exact
+``replica_writes`` accounting and a positive failover count exactly
+when a dead node was survived.  ``json_path`` writes the rows to a
+JSON artifact (``BENCH_cluster.json`` in CI, gated like the other
+fingerprint artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import print_table, timed
+from repro.cluster import ClusterCoordinator
+from repro.core.errors import StorageError
+from repro.core.schema import ArraySchema
+
+ARRAY = "cluster"
+
+#: The (nodes, replication) grid: unreplicated baseline, the classic
+#: R=2 production shape, and full triplication.
+CELLS = ((2, 1), (3, 2), (3, 3))
+
+
+def _dataset(versions: int, shape: tuple[int, ...],
+             seed: int = 2012) -> list[np.ndarray]:
+    """One deterministic int64 array per version."""
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 1 << 30, shape).astype(np.int64)
+            for _ in range(versions)]
+
+
+def run(versions: int = 6, shape: tuple[int, ...] = (96, 64),
+        chunk_bytes: int = 1 << 14, *, cells=CELLS,
+        backend: str = "memory", workers: int | None = None,
+        workdir: str | None = None,
+        json_path: str | Path | None = None,
+        quiet: bool = False) -> list[dict]:
+    """Measure ingest, healthy reads, degraded reads, and resharding
+    across the (nodes x replication) grid."""
+    datas = _dataset(versions, shape)
+    rows = []
+    reference: str | None = None
+    with tempfile.TemporaryDirectory(dir=workdir) as scratch:
+        for nodes, replication in cells:
+            cluster = ClusterCoordinator(
+                Path(scratch) / f"n{nodes}-r{replication}",
+                nodes=nodes, replication=replication,
+                chunk_bytes=chunk_bytes, backend=backend,
+                workers=workers)
+            cluster.create_array(ARRAY, ArraySchema.simple(
+                shape, dtype=np.int64))
+            with timed() as clock:
+                for data in datas:
+                    cluster.insert(ARRAY, data)
+            insert_seconds = clock.seconds
+            with timed() as clock:
+                for version in range(1, versions + 1):
+                    cluster.select(ARRAY, version)
+            read_seconds = clock.seconds
+
+            # Kill-one-node: host 0 takes band 0's primary and (for
+            # R>1) the last band's replica with it.
+            cluster.mark_node_dead(0)
+            failovers_before = cluster.stats.failovers
+            killed_read_ok = True
+            killed_read_seconds = None
+            try:
+                with timed() as clock:
+                    for version in range(1, versions + 1):
+                        cluster.select(ARRAY, version)
+                killed_read_seconds = clock.seconds
+            except StorageError:
+                killed_read_ok = False
+            killed_failovers = cluster.stats.failovers - failovers_before
+            cluster.revive_node(0)
+
+            fingerprint = cluster.fingerprint(ARRAY)
+            if reference is None:
+                reference = fingerprint
+            with timed() as clock:
+                migrated = cluster.rebalance(nodes + 1)
+            rebalance_seconds = clock.seconds
+            rows.append({
+                "backend": backend,
+                "nodes": nodes,
+                "replication": replication,
+                "versions": versions,
+                "insert_seconds": insert_seconds,
+                "versions_per_sec": versions / insert_seconds,
+                "read_seconds": read_seconds,
+                "killed_read_ok": killed_read_ok,
+                "killed_read_seconds": killed_read_seconds,
+                "killed_failovers": killed_failovers,
+                "migrated_chunks": migrated,
+                "rebalance_seconds": rebalance_seconds,
+                "replica_writes": cluster.stats.replica_writes,
+                "fingerprint": fingerprint,
+                "identical_after_rebalance":
+                    cluster.fingerprint(ARRAY) == fingerprint,
+                "identical_to_reference": fingerprint == reference,
+            })
+            cluster.close()
+
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(rows, indent=2))
+    if not quiet:
+        print_table(
+            "Cluster replication: reads through a dead node, resharding"
+            " onto a new node count (one logical fingerprint in every"
+            " cell)",
+            ["Nodes", "Repl", "Versions/s", "Read s", "Kill-1 Read",
+             "Failovers", "Migrated", "Identical"],
+            [[str(row["nodes"]), str(row["replication"]),
+              f"{row['versions_per_sec']:.2f}",
+              f"{row['read_seconds']:.3f}",
+              f"{row['killed_read_seconds']:.3f}"
+              if row["killed_read_ok"] else "FAILS (no quorum)",
+              str(row["killed_failovers"]),
+              str(row["migrated_chunks"]),
+              "yes" if row["identical_to_reference"]
+              and row["identical_after_rebalance"] else "NO"]
+             for row in rows])
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run(json_path="BENCH_cluster.json")

@@ -1,6 +1,7 @@
 """Fingerprint regression gate over committed benchmark artifacts.
 
-The benchmark JSON artifacts (``BENCH_fig2.json``, ``BENCH_ingest.json``)
+The benchmark JSON artifacts (``BENCH_fig2.json``,
+``BENCH_ingest.json``, ``BENCH_cluster.json``)
 carry a ``fingerprint`` column per row: a SHA-256 over every catalog row
 and every stored payload byte of the store that cell built.  Those
 fingerprints are *deterministic* — the datasets are seeded, placement is
@@ -28,6 +29,8 @@ from pathlib import Path
 VOLATILE_COLUMNS = frozenset({
     "select_seconds", "ingest_seconds", "versions_per_sec",
     "mb_per_sec", "seconds", "identical_to_serial",
+    "insert_seconds", "read_seconds", "killed_read_seconds",
+    "rebalance_seconds",
 })
 
 #: The column the gate compares.

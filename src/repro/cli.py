@@ -216,7 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
                              " object store — ranged GETs, multipart"
                              " append; 'striped:<n>[:<child>]' stripes"
                              " objects over n child backends, child in"
-                             " {local,durable,memory,object})")
+                             " {local,durable,memory,object};"
+                             " 'faulty:<seed>[:<inner>]' injects a"
+                             " deterministic seeded fault schedule"
+                             " over an inner backend — seed 0 is"
+                             " fault-free)")
     parser.add_argument("--workers", type=_workers_count, default=None,
                         help="parallel chunk encode/reconstruction"
                              " degree, applied to reads and to ingest"

@@ -7,6 +7,12 @@ reference [2]).
 """
 
 from repro.cluster.coordinator import ClusterCoordinator
-from repro.cluster.partitioning import Band, RangePartitioner
+from repro.cluster.partitioning import (
+    Band,
+    MigrationSlab,
+    RangePartitioner,
+    rebalance_plan,
+)
 
-__all__ = ["Band", "ClusterCoordinator", "RangePartitioner"]
+__all__ = ["Band", "ClusterCoordinator", "MigrationSlab",
+           "RangePartitioner", "rebalance_plan"]

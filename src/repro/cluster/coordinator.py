@@ -8,22 +8,49 @@ system nodes, and each machine runs its own instance of the storage
 system."
 
 :class:`ClusterCoordinator` is that query-processor-side fan-out: it
-partitions every array into bands (one per node), runs an independent
-:class:`~repro.storage.manager.VersionedStorageManager` per node — each
-node delta-encodes *its own* partition locally, exactly as the paper
-states — and reassembles query results.  All single-node semantics
-(no-overwrite, branches, layout re-organization) apply per node.
+partitions every array into bands (one per node), runs independent
+:class:`~repro.storage.manager.VersionedStorageManager` instances per
+node — each node delta-encodes *its own* partition locally, exactly as
+the paper states — and reassembles query results.  All single-node
+semantics (no-overwrite, branches, layout re-organization) apply per
+node.
+
+Beyond the paper's single-copy picture, the coordinator makes node
+loss and cluster growth first-class:
+
+* **Replication** — ``replication=R`` keeps R identical copies of
+  every band, each in its own manager.  Writes fan to every replica
+  and are all-or-nothing across the whole (band x replica) grid: the
+  settle-all-then-compensate rollback deletes whatever landed if any
+  copy fails, so a failed replica write leaves no catalog trace on any
+  node.  Reads are served by the first live replica and *fail over*
+  to the next on error (``IOStats.failovers`` counts every hop, and
+  ``IOStats.replica_writes`` every redundant copy landed).  Replica
+  ``r`` of band ``b`` is hosted on physical node ``(b + r) % nodes``
+  (chained declustering), so :meth:`mark_node_dead` takes out one
+  primary *and* one neighbor's replica — the classic failure shape.
+* **Rebalancing** — :meth:`rebalance` reshards every array onto a new
+  node count: a deterministic
+  :func:`~repro.cluster.partitioning.rebalance_plan` maps old bands to
+  new ones, slab reads (failover-capable, so a rebalance can evacuate
+  a cluster with dead replicas as long as a quorum survives) rebuild
+  each new band, and every version replays into a fresh manager
+  generation before the old one is released.  The cluster fingerprint
+  is byte-identical before and after; ``IOStats.migrated_chunks``
+  counts the placements the resharding performed.
 """
 
 from __future__ import annotations
 
+import hashlib
+import shutil
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
 
-from repro.cluster.partitioning import RangePartitioner
+from repro.cluster.partitioning import RangePartitioner, rebalance_plan
 from repro.core.array import ArrayData, Payload
 from repro.core.errors import ReproError, StorageError
 from repro.core.schema import ArraySchema, Attribute, Dimension
@@ -32,35 +59,61 @@ from repro.storage.iostats import IOStats
 from repro.storage.manager import VersionedStorageManager
 from repro.storage.pipeline import resolve_workers
 
+#: How many times a compensating undo (delete of a landed version or
+#: array) is retried before the rollback gives up on that replica.
+#: The retry matters under fault injection: the undo itself can hit an
+#: injected fault, and a finite fault schedule is outlasted by a short
+#: retry loop — giving up after one attempt would leave a node out of
+#: step, the one state the write path promises never to expose.
+COMPENSATION_ATTEMPTS = 4
+
 
 class ClusterCoordinator:
     """Fans array operations out to per-node storage managers.
 
     ``backend`` selects the byte substrate of every node: a registry
     name or spec (``"local"``, ``"memory"``, ``"object[:durable]"``,
-    ``"striped:<n>[:<child>]"``) or a factory called with each node's
-    root, so every node gets its *own* backend instance — an
-    all-in-memory cluster (``backend="memory"``) simulates multi-node
-    behaviour with zero disk I/O, and ``backend="object"`` runs every
-    node against its own S3-style object map, the deployment shape of
-    a cluster whose nodes each own a bucket prefix.  A ready backend
-    instance is rejected because the nodes must not share state.
+    ``"striped:<n>[:<child>]"``, ``"faulty:<seed>[:<inner>]"``) or a
+    factory called with each node's root, so every node gets its *own*
+    backend instance — an all-in-memory cluster (``backend="memory"``)
+    simulates multi-node behaviour with zero disk I/O, and a factory
+    returning seeded
+    :class:`~repro.storage.backend.FaultInjectingBackend` wrappers is
+    how the chaos suite gives every node its own deterministic failure
+    schedule.  A ready backend instance is rejected because the nodes
+    must not share state.
+
+    ``replication`` keeps that many copies of every band (each copy a
+    full manager with its own catalog and backend); it may not exceed
+    the node count — more copies than hosts would stack replicas on
+    the same failure domain.
 
     ``workers`` is per-node parallelism: each node's manager fans its
     chunk encodes and reconstructions across its own executors, and
     the coordinator additionally fans *node-level* work concurrently —
     region selects query the overlapping nodes in parallel, and
-    ``insert``/``branch``/``merge`` run every node's write at once
-    (``min(workers, nodes)`` coordinator threads; the nodes are fully
-    independent storage systems, so node-level fan-out needs no extra
-    locking).
+    ``insert``/``branch``/``merge`` run every replica's write at once
+    (the replicas are fully independent storage systems, so node-level
+    fan-out needs no extra locking).
+
+    The coordinator owns a cluster-level :class:`IOStats` (``stats``)
+    for the replication counters: ``failovers``, ``replica_writes``,
+    and ``migrated_chunks``.  Per-node byte counters stay on each
+    manager (:meth:`node_stats`).
     """
 
     def __init__(self, root: str | Path, nodes: int = 4, *,
-                 partition_axis: int = 0, backend=None,
-                 workers: int | None = None, **manager_kwargs):
+                 replication: int = 1, partition_axis: int = 0,
+                 backend=None, workers: int | None = None,
+                 **manager_kwargs):
         if nodes < 1:
             raise StorageError("a cluster needs at least one node")
+        if replication < 1:
+            raise StorageError("replication factor must be >= 1")
+        if replication > nodes:
+            raise StorageError(
+                f"replication={replication} exceeds the node count "
+                f"({nodes}); extra copies would share failure domains")
         if isinstance(backend, StorageBackend):
             raise StorageError(
                 "a cluster needs one backend per node; pass a backend"
@@ -68,39 +121,171 @@ class ClusterCoordinator:
         self.workers = resolve_workers(workers)
         self.root = Path(root)
         self.nodes = nodes
+        self.replication = replication
         self.partition_axis = partition_axis
+        self.stats = IOStats()
+        # Remembered for rebalance: a new manager generation is built
+        # with the same substrate and per-manager configuration.
+        self._backend_spec = backend
+        self._manager_kwargs = dict(manager_kwargs)
+        self._generation = 0
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
-        self.managers = [
-            VersionedStorageManager(self.root / f"node{index}",
-                                    backend=backend,
-                                    workers=self.workers,
-                                    **manager_kwargs)
-            for index in range(nodes)
-        ]
+        self._dead: set[tuple[int, int]] = set()
+        #: ``replicas[band][r]`` is copy ``r`` of band ``band``.
+        self.replicas: list[list[VersionedStorageManager]] = []
+        try:
+            for node in range(nodes):
+                row: list[VersionedStorageManager] = []
+                self.replicas.append(row)
+                for replica in range(replication):
+                    row.append(VersionedStorageManager(
+                        self._node_root(node, replica),
+                        backend=backend,
+                        workers=self.workers,
+                        **manager_kwargs))
+        except BaseException:
+            # A half-built cluster must not leak the managers (and
+            # their executors / SQLite handles) that did come up — and
+            # a close failure during that cleanup must not mask the
+            # error that actually sank the construction.
+            self._close_managers(suppress=True)
+            raise
         self._partitioners: dict[str, RangePartitioner] = {}
         self._schemas: dict[str, ArraySchema] = {}
+
+    @property
+    def managers(self) -> list[VersionedStorageManager]:
+        """The primary (replica 0) manager of every band — the
+        single-copy view that predates replication."""
+        return [row[0] for row in self.replicas]
+
+    def _node_root(self, node: int, replica: int) -> Path:
+        # Replica 0 keeps the historical ``root/node<i>`` layout so a
+        # replication=1 cluster is on-disk identical to earlier ones.
+        leaf = f"node{node}" if replica == 0 else f"node{node}-r{replica}"
+        return self.root / leaf
+
+    # ------------------------------------------------------------------
+    # Failure-domain controls
+    # ------------------------------------------------------------------
+    def host_of(self, node: int, replica: int) -> int:
+        """The physical host of one band copy (chained declustering):
+        replica ``r`` of band ``b`` lives on host ``(b + r) % nodes``,
+        so each host carries its own band plus neighbors' replicas."""
+        return (node + replica) % self.nodes
+
+    def mark_dead(self, node: int, replica: int = 0) -> None:
+        """Take one band copy offline: reads skip it (a failover),
+        writes to it fail the whole operation."""
+        self._check_pair(node, replica)
+        self._dead.add((node, replica))
+
+    def revive(self, node: int, replica: int = 0) -> None:
+        self._check_pair(node, replica)
+        self._dead.discard((node, replica))
+
+    def mark_node_dead(self, host: int) -> None:
+        """Kill one physical host: every band copy it carries goes
+        offline at once (its own primary and the neighbors' replicas
+        it hosts)."""
+        for node, replica in self._copies_on(host):
+            self._dead.add((node, replica))
+
+    def revive_node(self, host: int) -> None:
+        for node, replica in self._copies_on(host):
+            self._dead.discard((node, replica))
+
+    def dead_replicas(self) -> list[tuple[int, int]]:
+        """The (band, replica) copies currently marked offline."""
+        return sorted(self._dead)
+
+    def _copies_on(self, host: int) -> list[tuple[int, int]]:
+        if not 0 <= host < self.nodes:
+            raise StorageError(
+                f"no node {host} (cluster has {self.nodes})")
+        return [(node, replica)
+                for node in range(self.nodes)
+                for replica in range(self.replication)
+                if self.host_of(node, replica) == host]
+
+    def _check_pair(self, node: int, replica: int) -> None:
+        if not 0 <= node < self.nodes or \
+                not 0 <= replica < self.replication:
+            raise StorageError(
+                f"no replica ({node}, {replica}) (cluster has "
+                f"{self.nodes} nodes x {self.replication} replicas)")
+
+    def _check_writable(self, node: int, replica: int) -> None:
+        if (node, replica) in self._dead:
+            raise StorageError(
+                f"replica {replica} of node {node} is marked dead")
+
+    def _check_all_writable(self) -> None:
+        """Array-lifecycle writes touch every copy; any dead one fails
+        the operation before the first copy changes."""
+        if self._dead:
+            node, replica = min(self._dead)
+            self._check_writable(node, replica)
 
     # ------------------------------------------------------------------
     # Array lifecycle
     # ------------------------------------------------------------------
     def create_array(self, name: str, schema: ArraySchema,
                      **kwargs) -> None:
-        """Create the array's partition on every node."""
+        """Create the array's partition on every band copy.
+
+        All-or-nothing like the other cluster writes: dead copies fail
+        the operation up front, and a copy that errors mid-creation
+        (a full disk, a refused catalog) rolls the array back off
+        every copy that already created it — no replica keeps a
+        partition the others lack."""
         partitioner = RangePartitioner(schema.shape, self.nodes,
                                        axis=self.partition_axis)
-        for node, manager in enumerate(self.managers):
-            manager.create_array(name,
-                                 _band_schema(schema,
-                                              partitioner.local_shape(node)),
-                                 **kwargs)
+        self._check_all_writable()
+        created: list[VersionedStorageManager] = []
+        try:
+            for node in range(self.nodes):
+                band_schema = _band_schema(
+                    schema, partitioner.local_shape(node))
+                for manager in self.replicas[node]:
+                    manager.create_array(name, band_schema, **kwargs)
+                    created.append(manager)
+        except BaseException:
+            for manager in created:
+                self._compensate(manager.delete_array, name)
+            raise
         self._partitioners[name] = partitioner
         self._schemas[name] = schema
 
     def delete_array(self, name: str) -> None:
+        """Drop the array from every copy — convergently.
+
+        A delete cannot be compensated (the bytes are gone), so the
+        path is *retryable* instead of all-or-nothing: coordinator-
+        marked dead copies fail it up front, every remaining copy is
+        attempted even when one errors (a copy already missing the
+        array counts as deleted — idempotence), and the name stays
+        registered until every copy has dropped it, so a failed
+        attempt is simply retried once the sick copy recovers.
+        """
         self._partitioner(name)
-        for manager in self.managers:
-            manager.delete_array(name)
+        # Fail before the first copy is touched: deleting around a
+        # dead copy would leave it resurrecting the array on revival.
+        self._check_all_writable()
+        first_error = None
+        for row in self.replicas:
+            for manager in row:
+                try:
+                    manager.delete_array(name)
+                except ReproError as exc:
+                    if name in manager.list_arrays():
+                        if first_error is None:
+                            first_error = exc
+                    # else: this copy already dropped it (an earlier
+                    # partial delete) — idempotent success.
+        if first_error is not None:
+            raise first_error
         del self._partitioners[name]
         del self._schemas[name]
 
@@ -113,9 +298,9 @@ class ClusterCoordinator:
     def insert(self, name: str, payload: Payload | ArrayData | np.ndarray,
                timestamp: float | None = None, *,
                workers: int | None = None) -> int:
-        """Split a version into bands and insert on every node.
+        """Split a version into bands and insert on every band copy.
 
-        The per-node inserts are independent (each node owns its own
+        The per-replica inserts are independent (each copy owns its own
         catalog, store, and encoder), so they fan out across the
         coordinator's node executor — the write-side mirror of the
         region select's concurrent node queries.  ``workers`` overrides
@@ -124,48 +309,65 @@ class ClusterCoordinator:
         partitioner = self._partitioner(name)
         schema = self._schemas[name]
         data = self._normalize(name, payload)
-        axis = partitioner.axis
+        locals_by_node = [
+            _band_slice(schema, partitioner, node, data)
+            for node in range(self.nodes)]
+        return self._insert_locals(name, locals_by_node, timestamp,
+                                   workers)
 
-        def insert_band(node: int) -> int:
-            band = partitioner.band_of(node)
-            index = tuple(
-                np.s_[band.lo:band.hi + 1] if dim == axis else np.s_[:]
-                for dim in range(schema.ndim))
-            local = ArrayData(
-                _band_schema(schema, partitioner.local_shape(node)),
-                {attr.name: data.attribute(attr.name)[index]
-                 for attr in schema.attributes})
-            return self.managers[node].insert(name, local, timestamp,
-                                              workers=workers)
+    def _insert_locals(self, name: str,
+                       locals_by_node: list[ArrayData],
+                       timestamp: float | None,
+                       workers: int | None) -> int:
+        """Fan pre-sliced band payloads to every (band, replica) copy,
+        all-or-nothing: if any copy fails (or the copies land different
+        version numbers), every landed version is deleted again — it
+        was by construction each copy's newest, so the undo returns
+        every catalog to the old head and no replica ever exposes a
+        partial version."""
+        # Known-dead copies fail the write before any byte moves —
+        # encoding full band versions on every live replica only to
+        # compensate them all away would trade work for nothing.  The
+        # per-pair check below still covers marks set mid-fan-out.
+        self._check_all_writable()
+        pairs = [(node, replica)
+                 for node in range(self.nodes)
+                 for replica in range(self.replication)]
 
-        versions, error = self._settle_nodes(insert_band,
-                                             range(self.nodes))
-        if error is None and len(set(versions)) > 1:
+        def insert_one(pair: tuple[int, int]) -> int:
+            node, replica = pair
+            self._check_writable(node, replica)
+            return self.replicas[node][replica].insert(
+                name, locals_by_node[node], timestamp, workers=workers)
+
+        results, error = self._settle_nodes(insert_one, pairs)
+        landed = {version for version in results if version is not None}
+        if error is None and len(landed) > 1:
             error = StorageError(
-                f"cluster is out of step: nodes landed versions "
-                f"{versions}")
+                f"cluster is out of step: replicas landed versions "
+                f"{results}")
         if error is not None:
-            # Best-effort compensation: the version that landed on some
-            # nodes is by construction their newest (no dependents), so
-            # deleting it keeps every node at the old head instead of
-            # leaving the cluster permanently out of step.
-            for node, version in enumerate(versions):
+            for (node, replica), version in zip(pairs, results):
                 if version is not None:
-                    try:
-                        self.managers[node].delete_version(name, version)
-                    except ReproError:
-                        pass
+                    # reclaim=False: the undo must never write through
+                    # the (possibly failing) backend — consistency
+                    # over space; the next successful repack reclaims.
+                    self._compensate(
+                        self.replicas[node][replica].delete_version,
+                        name, version, reclaim=False)
             raise error
-        return versions[0]
+        self.stats.record_replica_writes(
+            self.nodes * (self.replication - 1))
+        return results[0]
 
     def branch(self, source_name: str, source_version: int,
                new_name: str,
                timestamp: float | None = None, *,
                workers: int | None = None):
-        """Branch every node's band of the source version (Branch).
+        """Branch every band copy of the source version (Branch).
 
-        All-or-nothing across the cluster: if any node fails, the
-        half-created branch is removed from every node before the
+        All-or-nothing across the cluster: if any replica fails, the
+        half-created branch is removed from every replica before the
         error propagates.
         """
         partitioner = self._partitioner(source_name)
@@ -175,7 +377,8 @@ class ClusterCoordinator:
             return manager.branch(source_name, source_version, new_name,
                                   timestamp, workers=workers)
 
-        self._all_nodes_or_none(branch_node, new_name)
+        self._all_nodes_or_none(branch_node, new_name,
+                                versions_created=1)
         # The branch shares the source's shape, so its partitioning is
         # identical by construction.
         self._partitioners[new_name] = partitioner
@@ -186,7 +389,8 @@ class ClusterCoordinator:
               timestamp: float | None = None, *,
               workers: int | None = None):
         """Merge parent versions into a new array sequence on every
-        node (the paper's Merge: versions 1..k replay the parents)."""
+        band copy (the paper's Merge: versions 1..k replay the
+        parents)."""
         if len(parents) < 2:
             raise StorageError("merge requires at least two parent versions")
         partitioner = self._partitioner(parents[0][0])
@@ -200,35 +404,67 @@ class ClusterCoordinator:
             return manager.merge(parents, new_name, timestamp,
                                  workers=workers)
 
-        self._all_nodes_or_none(merge_node, new_name)
+        self._all_nodes_or_none(merge_node, new_name,
+                                versions_created=len(parents))
         self._partitioners[new_name] = partitioner
         self._schemas[new_name] = schema
         return new_name
 
-    def _all_nodes_or_none(self, operation, new_name: str) -> None:
-        """Run an array-creating write on every node; undo it on every
-        node where it succeeded if any node fails, so no node keeps a
-        partial array.
+    def _all_nodes_or_none(self, operation, new_name: str, *,
+                           versions_created: int) -> None:
+        """Run an array-creating write on every band copy; undo it on
+        every copy where it succeeded if any copy fails, so no replica
+        keeps a partial array.
 
         The name must be unused: rollback deletes ``new_name`` on the
-        nodes that created it, which would destroy a pre-existing
+        replicas that created it, which would destroy a pre-existing
         array of that name had the operation been allowed to start.
         The guard checks the node catalogs as well as the registry —
         coordinator state is session-scoped, but node arrays are not.
         """
         if new_name in self._partitioners or \
-                new_name in self.managers[0].list_arrays():
+                new_name in self._read_node(
+                    0, lambda manager: manager.list_arrays()):
             raise StorageError(
                 f"array {new_name!r} already exists on this cluster")
-        results, error = self._settle_nodes(operation, self.managers)
+        self._check_all_writable()
+        pairs = [(node, replica)
+                 for node in range(self.nodes)
+                 for replica in range(self.replication)]
+
+        def run_one(pair: tuple[int, int]):
+            node, replica = pair
+            self._check_writable(node, replica)
+            return operation(self.replicas[node][replica])
+
+        results, error = self._settle_nodes(run_one, pairs)
         if error is not None:
-            for manager, result in zip(self.managers, results):
+            for (node, replica), result in zip(pairs, results):
                 if result is not None:
-                    try:
-                        manager.delete_array(new_name)
-                    except ReproError:
-                        pass
+                    self._compensate(
+                        self.replicas[node][replica].delete_array,
+                        new_name)
             raise error
+        self.stats.record_replica_writes(
+            self.nodes * (self.replication - 1) * versions_created)
+
+    def _compensate(self, undo, *args, **kwargs) -> bool:
+        """Run one compensating undo, retrying a few times.
+
+        Under fault injection the undo itself can fail (a co-located
+        repack re-places payloads through the same faulty backend); a
+        finite fault schedule is outlasted by the retry loop.  Returns
+        whether the undo eventually succeeded — a False leaves that
+        replica out of step, which the caller's raised error already
+        reports as a failed cluster write.
+        """
+        for _ in range(COMPENSATION_ATTEMPTS):
+            try:
+                undo(*args, **kwargs)
+                return True
+            except ReproError:
+                continue
+        return False
 
     def _map_nodes(self, operation, items) -> list:
         """Apply ``operation`` to every item, fanning across the node
@@ -241,8 +477,8 @@ class ClusterCoordinator:
     def _settle_nodes(self, operation, items) -> tuple[list, object]:
         """Like :meth:`_map_nodes`, but *every* submitted operation is
         waited for before returning — the write paths compensate by
-        inspecting which nodes succeeded, which is only sound once no
-        straggler is still mutating its node.  Returns ``(results,
+        inspecting which replicas succeeded, which is only sound once
+        no straggler is still mutating its node.  Returns ``(results,
         first_error)`` with None results for failed (or, serially,
         never-attempted) items.
         """
@@ -269,13 +505,13 @@ class ClusterCoordinator:
 
     def get_versions(self, name: str) -> list[int]:
         self._partitioner(name)
-        return self.managers[0].get_versions(name)
+        return self._read_any(lambda manager: manager.get_versions(name))
 
     # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------
     def select(self, name: str, version: int) -> ArrayData:
-        """Reassemble one full version from every node's band."""
+        """Reassemble one full version from every band."""
         schema = self._schema(name)
         lo = tuple(0 for _ in schema.shape)
         hi = tuple(extent - 1 for extent in schema.shape)
@@ -284,7 +520,8 @@ class ClusterCoordinator:
     def select_region(self, name: str, version: int,
                       corner_lo: tuple[int, ...],
                       corner_hi: tuple[int, ...]) -> ArrayData:
-        """Route a region query to the overlapping nodes only."""
+        """Route a region query to the overlapping nodes only, each
+        band served by its first live replica (reads fail over)."""
         partitioner = self._partitioner(name)
         schema = self._schema(name)
         lo = schema.to_zero_based(corner_lo)
@@ -299,8 +536,10 @@ class ClusterCoordinator:
 
         def fetch(band):
             local_lo, local_hi = partitioner.clip_region(band, lo, hi)
-            return self.managers[band.node].select_region(
-                name, version, local_lo, local_hi)
+            return self._read_node(
+                band.node,
+                lambda manager: manager.select_region(
+                    name, version, local_lo, local_hi))
 
         bands = list(partitioner.bands_overlapping(lo, hi))
         parts = self._map_nodes(fetch, bands)
@@ -325,42 +564,303 @@ class ClusterCoordinator:
         layers = [self.select(name, v).attribute(attr) for v in versions]
         return np.stack(layers, axis=0)
 
+    def _read_node(self, node: int, op):
+        """Serve one band read from its first live replica.
+
+        Copies marked dead are skipped, and a copy that raises is
+        abandoned for the next one; every abandoned copy is one
+        recorded failover.  Only when no copy can serve does the read
+        fail — so with ``replication=2`` any single dead node leaves
+        every band readable.
+        """
+        last_error = None
+        for replica in range(self.replication):
+            if (node, replica) in self._dead:
+                self.stats.record_failover()
+                continue
+            try:
+                return op(self.replicas[node][replica])
+            except ReproError as exc:
+                last_error = exc
+                self.stats.record_failover()
+        raise StorageError(
+            f"no live replica of node {node} could serve the read "
+            f"(replication={self.replication})") from last_error
+
+    def _read_any(self, op):
+        """Serve a band-agnostic read (version lists, catalogs agree
+        everywhere) from the first band with a live replica."""
+        last_error = None
+        for node in range(self.nodes):
+            try:
+                return self._read_node(node, op)
+            except ReproError as exc:
+                last_error = exc
+        raise StorageError(
+            "no live replica on any node could serve the read") \
+            from last_error
+
+    # ------------------------------------------------------------------
+    # Rebalancing (cluster growth / shrink)
+    # ------------------------------------------------------------------
+    def rebalance(self, new_node_count: int, *, seed: int = 0) -> int:
+        """Reshard every array across ``new_node_count`` nodes.
+
+        A deterministic :func:`rebalance_plan` (fixed by ``seed``) maps
+        old bands onto new ones; each slab is read from the first live
+        replica of its source band (so a cluster with dead copies can
+        still be evacuated while a quorum survives) and every version
+        replays, in order, into a fresh generation of managers under
+        ``root/gen<k>``.  Only after the whole new generation is built
+        does the coordinator adopt it and release (close + remove) the
+        old managers — a failure at any point leaves the old cluster
+        untouched and the half-built generation deleted.
+
+        Contents and version numbering are preserved exactly (the
+        cluster :meth:`fingerprint` is byte-identical before and
+        after); per-version lineage *kinds* (insert vs branch-root vs
+        merge) replay as plain inserts, since bands — and with them
+        every physical chunk — are recut from scratch.  Dead-copy
+        marks reset: the new generation is a new fleet.  Returns the
+        number of chunk placements the migration performed (also
+        recorded in ``stats.migrated_chunks``).
+        """
+        if new_node_count < 1:
+            raise StorageError("a cluster needs at least one node")
+        if new_node_count < self.replication:
+            raise StorageError(
+                f"cannot rebalance to {new_node_count} node(s) with "
+                f"replication={self.replication}")
+        generation = self._generation + 1
+        new_root = self.root / f"gen{generation}"
+        try:
+            fresh = ClusterCoordinator(
+                new_root, nodes=new_node_count,
+                replication=self.replication,
+                partition_axis=self.partition_axis,
+                backend=self._backend_spec, workers=self.workers,
+                **self._manager_kwargs)
+        except BaseException:
+            # A half-built generation (its constructor closed the
+            # managers that did come up) must not leave node roots for
+            # a later rebalance to adopt as pre-existing state.
+            if new_root.exists():
+                shutil.rmtree(new_root)
+            raise
+        try:
+            for name in self.list_arrays():
+                record = self._read_node(
+                    0, lambda manager: manager.catalog.get_array(name))
+                fresh.create_array(name, self._schemas[name],
+                                   chunk_bytes=record.chunk_bytes,
+                                   compressor=record.compressor,
+                                   chunk_shape=record.chunk_shape)
+                plan = rebalance_plan(self._partitioners[name],
+                                      fresh._partitioners[name],
+                                      seed=seed)
+                for version in self.get_versions(name):
+                    fresh._insert_locals(
+                        name,
+                        self._migrate_version(name, version, plan,
+                                              fresh),
+                        None, None)
+        except BaseException:
+            # Suppress close errors: the cleanup must never mask the
+            # error that sank the migration, and the half-built
+            # generation must be removed regardless so a later
+            # rebalance cannot adopt its node roots.
+            fresh._shutdown_executor()
+            fresh._close_managers(suppress=True)
+            if fresh.root.exists():
+                shutil.rmtree(fresh.root)
+            raise
+        migrated = sum(manager.stats.chunks_written
+                       for row in fresh.replicas for manager in row)
+        # Adopt the new generation, then release the old one.
+        old_replicas = self.replicas
+        old_base = self.root / f"gen{self._generation}" \
+            if self._generation else None
+        fresh._shutdown_executor()
+        self.replicas = fresh.replicas
+        self.nodes = fresh.nodes
+        self._partitioners = fresh._partitioners
+        self._schemas = fresh._schemas
+        self._dead = set()
+        self._generation = generation
+        # The node fan-out pool was sized for the old replica grid;
+        # drop it so the next fan-out recreates it at the new width.
+        self._shutdown_executor()
+        for row in old_replicas:
+            for manager in row:
+                manager.close()
+                if manager.root.exists():
+                    shutil.rmtree(manager.root)
+        if old_base is not None and old_base.exists():
+            # Generation 0 lives directly under the cluster root; later
+            # generations get their own base directory, removed once
+            # its node roots are gone.
+            shutil.rmtree(old_base)
+        self.stats.record_migrated_chunks(migrated)
+        return migrated
+
+    def _migrate_version(self, name: str, version: int, plan,
+                         fresh: "ClusterCoordinator"
+                         ) -> list[ArrayData]:
+        """Rebuild one version's new band payloads from slab reads
+        against the old cluster (failover-capable)."""
+        schema = self._schemas[name]
+        old = self._partitioners[name]
+        new = fresh._partitioners[name]
+        axis = old.axis
+        canvases = [
+            {attr.name: np.empty(new.local_shape(node),
+                                 dtype=attr.dtype)
+             for attr in schema.attributes}
+            for node in range(fresh.nodes)]
+        for slab in plan:
+            source_band = old.band_of(slab.source)
+            local_lo = tuple(
+                slab.lo - source_band.lo if dim == axis else 0
+                for dim in range(schema.ndim))
+            local_hi = tuple(
+                slab.hi - source_band.lo if dim == axis
+                else schema.shape[dim] - 1
+                for dim in range(schema.ndim))
+            part = self._read_node(
+                slab.source,
+                lambda manager: manager.select_region(
+                    name, version, local_lo, local_hi))
+            target_band = new.band_of(slab.target)
+            dest = tuple(
+                np.s_[slab.lo - target_band.lo:
+                      slab.hi - target_band.lo + 1]
+                if dim == axis else np.s_[:]
+                for dim in range(schema.ndim))
+            for attr in schema.attributes:
+                canvases[slab.target][attr.name][dest] = \
+                    part.attribute(attr.name)
+        return [
+            ArrayData(_band_schema(schema, new.local_shape(node)),
+                      canvases[node])
+            for node in range(fresh.nodes)]
+
     # ------------------------------------------------------------------
     # Maintenance / introspection
     # ------------------------------------------------------------------
     def reorganize(self, name: str, **kwargs) -> None:
-        """Per-node background re-organization (each node independent)."""
+        """Per-node background re-organization.  Every *live* copy
+        re-lays-out independently (replica layouts may legitimately
+        diverge — contents, not physical structure, are what
+        replication guarantees); dead copies are skipped and pick a
+        fresh layout whenever they next replay."""
         self._partitioner(name)
-        for manager in self.managers:
-            manager.reorganize(name, **kwargs)
+        for node in range(self.nodes):
+            for replica in range(self.replication):
+                if (node, replica) in self._dead:
+                    continue
+                self.replicas[node][replica].reorganize(name, **kwargs)
 
     def stored_bytes(self, name: str) -> int:
+        """Logical stored bytes: one live copy of every band (replica
+        copies are redundancy, not extra data)."""
         self._partitioner(name)
-        return sum(manager.stored_bytes(name)
-                   for manager in self.managers)
+        return sum(
+            self._read_node(node,
+                            lambda manager: manager.stored_bytes(name))
+            for node in range(self.nodes))
+
+    def physical_bytes(self, name: str) -> int:
+        """Stored bytes across *all* live copies (what the fleet's
+        disks actually hold; ~``replication`` x the logical bytes)."""
+        self._partitioner(name)
+        return sum(self.replicas[node][replica].stored_bytes(name)
+                   for node in range(self.nodes)
+                   for replica in range(self.replication)
+                   if (node, replica) not in self._dead)
 
     def node_stats(self) -> list[IOStats]:
-        """Per-node I/O counters (routing tests use these)."""
-        return [manager.stats for manager in self.managers]
+        """Per-node I/O counters of the primary copies (routing tests
+        use these)."""
+        return [row[0].stats for row in self.replicas]
+
+    def replica_stats(self) -> list[list[IOStats]]:
+        """The full (band x replica) grid of per-manager counters."""
+        return [[manager.stats for manager in row]
+                for row in self.replicas]
+
+    def fingerprint(self, name: str | None = None) -> str:
+        """SHA-256 over the cluster's *logical* catalog rows and
+        payload bytes: every array's schema and version list, and each
+        version's reassembled contents in attribute order.
+
+        Equal fingerprints mean the cluster serves byte-identical
+        data.  Unlike the per-manager
+        :meth:`~repro.storage.manager.VersionedStorageManager.fingerprint`
+        (which also pins physical chunk placement), this observable is
+        deliberately invariant under node count, replication factor,
+        and per-node encoding choices — it is exactly what resharding
+        and replica failover promise to preserve, and the chaos
+        suite's one-fingerprint assertion across every (nodes,
+        replication, fault schedule) cell leans on that.  Reads fail
+        over, so the fingerprint stays computable while dead copies
+        leave a quorum.
+        """
+        digest = hashlib.sha256()
+        names = [name] if name is not None else self.list_arrays()
+        for array_name in names:
+            schema = self._schema(array_name)
+            versions = self.get_versions(array_name)
+            digest.update(repr((array_name, schema.to_dict(),
+                                versions)).encode())
+            for version in versions:
+                data = self.select(array_name, version)
+                for attr in schema.attributes:
+                    digest.update(repr((array_name, version,
+                                        attr.name)).encode())
+                    digest.update(np.ascontiguousarray(
+                        data.attribute(attr.name)).tobytes())
+        return digest.hexdigest()
 
     def _pool(self) -> ThreadPoolExecutor:
         """One lazily-created node fan-out executor per coordinator,
         reused across queries (a fresh pool per select would put
-        thread spawn/join on the hot query path)."""
+        thread spawn/join on the hot query path); sized to the replica
+        grid so a replicated write can fan every copy at once."""
         with self._executor_lock:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
-                    max_workers=min(self.workers, self.nodes),
+                    max_workers=min(self.workers,
+                                    self.nodes * self.replication),
                     thread_name_prefix="repro-cluster")
             return self._executor
 
-    def close(self) -> None:
+    def _shutdown_executor(self) -> None:
         with self._executor_lock:
             pool, self._executor = self._executor, None
         if pool is not None:
             pool.shutdown(wait=True)
-        for manager in self.managers:
-            manager.close()
+
+    def close(self) -> None:
+        self._shutdown_executor()
+        self._close_managers()
+
+    def _close_managers(self, suppress: bool = False) -> None:
+        """Close every manager that was successfully constructed,
+        letting nothing leak even when some close calls fail.
+
+        ``suppress=True`` swallows close errors entirely — the
+        construction-failure path uses it so the cleanup can never
+        replace the error that actually sank the construction."""
+        first_error = None
+        for row in self.replicas:
+            for manager in row:
+                try:
+                    manager.close()
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+        if first_error is not None and not suppress:
+            raise first_error
 
     # ------------------------------------------------------------------
     def _partitioner(self, name: str) -> RangePartitioner:
@@ -387,6 +887,20 @@ class ClusterCoordinator:
         if isinstance(payload, np.ndarray):
             return ArrayData.from_single(schema, payload)
         return payload.to_array_data(schema)
+
+
+def _band_slice(schema: ArraySchema, partitioner: RangePartitioner,
+                node: int, data: ArrayData) -> ArrayData:
+    """One node's band of a full-array payload, as local ArrayData."""
+    band = partitioner.band_of(node)
+    axis = partitioner.axis
+    index = tuple(
+        np.s_[band.lo:band.hi + 1] if dim == axis else np.s_[:]
+        for dim in range(schema.ndim))
+    return ArrayData(
+        _band_schema(schema, partitioner.local_shape(node)),
+        {attr.name: data.attribute(attr.name)[index]
+         for attr in schema.attributes})
 
 
 def _band_schema(schema: ArraySchema,

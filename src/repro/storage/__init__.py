@@ -9,7 +9,9 @@ pipelines into the paper's versioned-array semantics.
 
 from repro.storage.backend import (
     BACKEND_NAMES,
+    FAULT_KINDS,
     OBJECT_REQUEST_FLOOR,
+    FaultInjectingBackend,
     InMemoryBackend,
     LocalFileBackend,
     ObjectStoreBackend,
@@ -17,9 +19,11 @@ from repro.storage.backend import (
     StripedBackend,
     default_backend_spec,
     ensure_backend_spec,
+    parse_faulty_spec,
     parse_object_spec,
     parse_striped_spec,
     resolve_backend,
+    seeded_fault_schedule,
 )
 from repro.storage.chunking import (
     DEFAULT_CHUNK_BYTES,
@@ -63,6 +67,8 @@ __all__ = [
     "DEFAULT_CHUNK_BYTES",
     "DecodePipeline",
     "EncodePipeline",
+    "FAULT_KINDS",
+    "FaultInjectingBackend",
     "IOStats",
     "InMemoryBackend",
     "LocalFileBackend",
@@ -79,8 +85,10 @@ __all__ = [
     "VersionedStorageManager",
     "default_backend_spec",
     "ensure_backend_spec",
+    "parse_faulty_spec",
     "parse_object_spec",
     "parse_striped_spec",
     "resolve_backend",
+    "seeded_fault_schedule",
     "stride_for",
 ]

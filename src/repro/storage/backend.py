@@ -30,7 +30,17 @@ Four implementations ship today:
   new committed object, and reads are **ranged GETs** coalesced under
   a configurable request-size floor.  The backend advertises
   ``high_latency = True`` so the chunk store batches requests harder
-  (per-request cost dominates on an object store, not bytes moved).
+  (per-request cost dominates on an object store, not bytes moved);
+* :class:`FaultInjectingBackend` — a transparent wrapper (spec
+  ``faulty:<seed>[:<inner>]``) that follows a **deterministic seeded
+  schedule** of injected failures: the Nth write raises before any
+  byte lands, the Nth append tears (a prefix lands, then the error),
+  the Nth durability barrier errors out, and :meth:`mark_dead` turns
+  the node into a black hole where every operation raises.  Seed 0 is
+  the fault-free mode, which must be indistinguishable from the inner
+  backend — the wrapper itself sits in the conformance grid.  This is
+  the chaos suite's product-code half: failure scenarios replay
+  exactly from a seed instead of depending on timing or monkeypatches.
 
 ``read_many`` is the performance-critical batched read: a co-located
 delta chain lives at many ``(offset, length)`` spans of *one* object,
@@ -48,6 +58,7 @@ written by one backend can be described identically by another.
 from __future__ import annotations
 
 import os
+import random
 import shutil
 import threading
 import zlib
@@ -61,10 +72,11 @@ from repro.core.errors import StorageError
 from repro.storage.iostats import IOStats
 
 #: Names accepted by :func:`resolve_backend` (and the CLI / bench axis).
-#: ``striped:<n>[:<child>]`` and ``object[:durable]`` specs are also
-#: accepted — see :func:`parse_striped_spec` / :func:`parse_object_spec`;
-#: :func:`ensure_backend_spec` validates any of them without side
-#: effects.
+#: ``striped:<n>[:<child>]``, ``object[:durable]``, and
+#: ``faulty:<seed>[:<inner>]`` specs are also accepted — see
+#: :func:`parse_striped_spec` / :func:`parse_object_spec` /
+#: :func:`parse_faulty_spec`; :func:`ensure_backend_spec` validates any
+#: of them without side effects.
 BACKEND_NAMES = ("local", "memory", "durable", "object")
 
 #: A backend spec: a registry name, a ready instance, or a factory
@@ -802,6 +814,203 @@ class ObjectStoreBackend(StorageBackend):
         super().close()
 
 
+#: Operation kinds the seeded fault schedule can target.  Reads are
+#: deliberately absent: a failed read is what replica *failover*
+#: recovers from, and the chaos suite injects those by marking whole
+#: nodes dead rather than by schedule — a scheduled read fault on an
+#: unreplicated store could never be survived, so it would only ever
+#: test the error message.
+FAULT_KINDS = ("write", "append", "sync")
+
+#: How far into an instance's life the seeded schedule reaches: fault
+#: indices are drawn from ``1..FAULT_HORIZON``.  A finite horizon is
+#: what makes chaos workloads terminate — a retried operation
+#: eventually runs out of scheduled failures — while staying long
+#: enough that faults land mid-version, mid-compensation, and
+#: mid-repack across the sweep of seeds.
+FAULT_HORIZON = 24
+
+
+def seeded_fault_schedule(seed: int) -> dict[str, frozenset[int]]:
+    """The deterministic fault schedule implied by ``seed``.
+
+    Seed 0 is the fault-free mode (an empty schedule for every kind);
+    any other seed derives, per operation kind, a small set of 1-based
+    operation indices that will fail.  The derivation uses its own
+    :class:`random.Random` instance, so the schedule depends only on
+    the seed — never on interleaving, global RNG state, or how many
+    backends a test built first.
+    """
+    if seed < 0:
+        raise StorageError(
+            f"fault-injection seed must be >= 0, got {seed}")
+    if seed == 0:
+        return {kind: frozenset() for kind in FAULT_KINDS}
+    rng = random.Random(seed)
+    return {kind: frozenset(rng.sample(range(1, FAULT_HORIZON + 1),
+                                       rng.randint(1, 3)))
+            for kind in FAULT_KINDS}
+
+
+class FaultInjectingBackend(StorageBackend):
+    """Deterministic fault injection over any inner backend.
+
+    The wrapper forwards every operation to ``inner`` and keeps a
+    per-kind operation counter; when a counter hits an index in the
+    seeded schedule the operation fails *the way that kind of fault
+    fails in the field*:
+
+    * **write** — raises before a single byte reaches the inner
+      backend (the object never changes);
+    * **append** — *tears*: a deterministic prefix of the payload
+      lands, then the error propagates (the debris stays, exactly like
+      a crashed process mid-append; the catalog-after-placement
+      transaction is what must make it unobservable);
+    * **sync** — raises before the inner barrier runs, so nothing the
+      barrier would have made durable (or finalized) gets either;
+    * **dead node** — :meth:`mark_dead` makes *every* subsequent
+      operation raise until :meth:`revive`, which is how the chaos
+      suite and the failover bench take a node offline.
+
+    Injected faults are recorded in ``injected`` (``(kind, index)``
+    pairs, in firing order) and counted in ``faults_injected`` so the
+    chaos suite can do exact accounting.  With ``seed=0`` the schedule
+    is empty and the wrapper must be indistinguishable from ``inner``
+    — the conformance grid runs that mode to prove the wrapper itself
+    honors the full backend contract.
+
+    The counters are lock-protected (parallel encode fan-outs hammer
+    one instance from many threads), and the fault decision depends
+    only on ``(seed, kind, index)`` — never on thread interleaving —
+    so a schedule replays identically across runs and workers degrees
+    for any serial-per-backend write path.
+    """
+
+    name = "faulty"
+
+    def __init__(self, inner: StorageBackend, seed: int = 0,
+                 schedule: "dict[str, frozenset[int]] | None" = None):
+        self.inner = inner
+        self.seed = seed
+        self.ephemeral = inner.ephemeral
+        self.high_latency = inner.high_latency
+        raw = seeded_fault_schedule(seed) if schedule is None else schedule
+        unknown = set(raw) - set(FAULT_KINDS)
+        if unknown:
+            raise StorageError(
+                f"fault schedule names unknown operation kinds "
+                f"{sorted(unknown)}; expected a subset of {FAULT_KINDS}")
+        self.schedule = {kind: frozenset(raw.get(kind, ()))
+                         for kind in FAULT_KINDS}
+        self.faults_injected = 0
+        self.injected: list[tuple[str, int]] = []
+        self._op_counts = dict.fromkeys(FAULT_KINDS, 0)
+        self._fault_lock = threading.Lock()
+        self._dead = False
+
+    # -- fault controls ------------------------------------------------
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def mark_dead(self) -> None:
+        """Take the node offline: every operation raises until
+        :meth:`revive`."""
+        self._dead = True
+
+    def revive(self) -> None:
+        self._dead = False
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise StorageError(
+                f"injected fault: node is dead ({self.inner.name} "
+                "backend unreachable)")
+
+    def _tick(self, kind: str) -> int | None:
+        """Count one operation of ``kind``; return its index when the
+        schedule says this one fails, else None."""
+        self._check_alive()
+        with self._fault_lock:
+            self._op_counts[kind] += 1
+            index = self._op_counts[kind]
+            if index in self.schedule[kind]:
+                self.faults_injected += 1
+                self.injected.append((kind, index))
+                return index
+        return None
+
+    # -- forwarding with injection ---------------------------------------
+    def bind_stats(self, stats: "IOStats") -> None:
+        self.inner.bind_stats(stats)
+
+    def write(self, path: str, payload: bytes) -> None:
+        index = self._tick("write")
+        if index is not None:
+            raise StorageError(
+                f"injected fault: write #{index} of {path} failed "
+                "before any byte landed")
+        self.inner.write(path, payload)
+
+    def append(self, path: str, payload: bytes) -> int:
+        index = self._tick("append")
+        if index is not None:
+            # Torn append: a deterministic prefix lands, then the
+            # error.  The tear point depends only on (seed, index, the
+            # payload length), so a schedule replays byte-identically.
+            torn = 0
+            if payload:
+                torn = random.Random(
+                    f"{self.seed}:torn:{index}").randrange(len(payload))
+            if torn:
+                self.inner.append(path, payload[:torn])
+            raise StorageError(
+                f"injected fault: append #{index} of {path} torn after "
+                f"{torn}/{len(payload)} bytes")
+        return self.inner.append(path, payload)
+
+    def sync(self, paths: Sequence[str], *, max_workers: int = 0) -> None:
+        index = self._tick("sync")
+        if index is not None:
+            raise StorageError(
+                f"injected fault: sync #{index} failed before the "
+                "barrier was raised")
+        self.inner.sync(paths, max_workers=max_workers)
+
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        self._check_alive()
+        return self.inner.read(path, offset, length)
+
+    def read_many(self, path: str,
+                  spans: Sequence[tuple[int, int]], *,
+                  max_workers: int = 0) -> list[bytes]:
+        self._check_alive()
+        return self.inner.read_many(path, spans, max_workers=max_workers)
+
+    def delete(self, prefix: str) -> None:
+        self._check_alive()
+        self.inner.delete(prefix)
+
+    def total_bytes(self, prefix: str = "") -> int:
+        self._check_alive()
+        return self.inner.total_bytes(prefix)
+
+    def close(self) -> None:
+        # Cleanup must work even on a "dead" node — the process is
+        # shutting the handle down, not talking to the substrate.
+        self.inner.close()
+        super().close()
+
+    def __getattr__(self, name: str):
+        # Transparent introspection (e.g. the object store's
+        # ``pending_parts``) so a wrapped backend stays observable in
+        # tests.  Private attributes stay local: the executor slots of
+        # StorageBackend.close must never resolve to the inner's.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
 def _union_bytes(spans: Sequence[tuple[int, int]]) -> int:
     """Bytes covered by at least one ``(offset, length)`` span."""
     total = 0
@@ -865,15 +1074,46 @@ def parse_object_spec(spec: str) -> bool:
     return True
 
 
+def parse_faulty_spec(spec: str) -> tuple[int, str]:
+    """Validate a ``faulty:<seed>[:<inner>]`` spec string.
+
+    Returns ``(seed, inner_name)``; raises :class:`StorageError` on
+    malformed specs so callers can validate configuration before any
+    side effect (the same validate-before-side-effects rule as the
+    other spec parsers).  Seed 0 is the fault-free conformance mode.
+    """
+    parts = spec.split(":")
+    if parts[0] != "faulty" or len(parts) not in (2, 3):
+        raise StorageError(
+            f"malformed faulty backend spec {spec!r}; expected"
+            " 'faulty:<seed>' or 'faulty:<seed>:<inner>'")
+    try:
+        seed = int(parts[1])
+    except ValueError:
+        raise StorageError(
+            f"faulty backend spec {spec!r} needs an integer seed") \
+            from None
+    if seed < 0:
+        raise StorageError(
+            f"faulty backend spec {spec!r} needs a seed >= 0")
+    inner = parts[2] if len(parts) == 3 else "local"
+    if inner not in BACKEND_NAMES:
+        raise StorageError(
+            f"faulty backend spec {spec!r} names unknown inner backend"
+            f" {inner!r}; expected one of {BACKEND_NAMES}")
+    return seed, inner
+
+
 def ensure_backend_spec(spec: str) -> str:
     """Validate a string backend spec without building anything.
 
     Accepts the :data:`BACKEND_NAMES` registry names plus the
-    ``striped:<n>[:<child>]`` and ``object[:durable]`` spec forms —
-    exactly what :func:`resolve_backend` accepts as strings.  The CLI
-    and the test-suite's ``REPRO_BACKEND`` handling both validate
-    through here, so a bad flag or a misconfigured CI matrix cell fails
-    loudly before any directory or catalog is created.
+    ``striped:<n>[:<child>]``, ``object[:durable]``, and
+    ``faulty:<seed>[:<inner>]`` spec forms — exactly what
+    :func:`resolve_backend` accepts as strings.  The CLI and the
+    test-suite's ``REPRO_BACKEND`` handling both validate through
+    here, so a bad flag or a misconfigured CI matrix cell fails loudly
+    before any directory or catalog is created.
     """
     if spec in BACKEND_NAMES:
         return spec
@@ -883,10 +1123,13 @@ def ensure_backend_spec(spec: str) -> str:
     if spec.startswith("object"):
         parse_object_spec(spec)
         return spec
+    if spec.startswith("faulty"):
+        parse_faulty_spec(spec)
+        return spec
     raise StorageError(
         f"unknown storage backend {spec!r}; expected one of "
-        f"{BACKEND_NAMES}, 'object[:durable]', or"
-        " 'striped:<n>[:<child>]'")
+        f"{BACKEND_NAMES}, 'object[:durable]',"
+        " 'striped:<n>[:<child>]', or 'faulty:<seed>[:<inner>]'")
 
 
 def default_backend_spec() -> str:
@@ -916,7 +1159,9 @@ def resolve_backend(spec, root: str | Path) -> StorageBackend:
     variable, else local files under ``root``), one of
     :data:`BACKEND_NAMES`, an ``object[:durable]`` spec (the S3-style
     emulation rooted at ``root``), a ``striped:<n>[:<child>]`` spec (N
-    stripes under ``root/stripe<i>``, or N in-memory stripes), a ready
+    stripes under ``root/stripe<i>``, or N in-memory stripes), a
+    ``faulty:<seed>[:<inner>]`` spec (deterministic fault injection
+    over an inner backend rooted at ``root``), a ready
     :class:`StorageBackend`, or a factory callable invoked with
     ``root`` — the factory form is what lets a cluster coordinator
     construct one independent backend per node.
@@ -931,6 +1176,10 @@ def resolve_backend(spec, root: str | Path) -> StorageBackend:
         return InMemoryBackend()
     if isinstance(spec, str) and spec.startswith("object"):
         return ObjectStoreBackend(root, durable=parse_object_spec(spec))
+    if isinstance(spec, str) and spec.startswith("faulty"):
+        seed, inner = parse_faulty_spec(spec)
+        return FaultInjectingBackend(resolve_backend(inner, root),
+                                     seed=seed)
     if isinstance(spec, str) and spec.startswith("striped"):
         stripes, child = parse_striped_spec(spec)
         if child == "memory":
@@ -956,4 +1205,5 @@ def resolve_backend(spec, root: str | Path) -> StorageBackend:
     raise StorageError(
         f"unknown storage backend {spec!r}; expected one of "
         f"{BACKEND_NAMES}, 'object[:durable]', 'striped:<n>[:<child>]',"
-        " a StorageBackend, or a factory callable")
+        " 'faulty:<seed>[:<inner>]', a StorageBackend, or a factory"
+        " callable")

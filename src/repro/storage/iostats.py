@@ -33,6 +33,15 @@ chain depth" or "one encode task per chunk" only hold if no increment
 is ever lost.  The write side is covered by three counters:
 ``encode_tasks`` (delta+compress units executed by the encode stage),
 ``chunks_written``, and ``bytes_written`` (placements that follow).
+
+The cluster coordinator adds replication accounting on its own stats
+instance: ``replica_writes`` counts redundant version copies landed on
+non-primary replicas, ``failovers`` counts reads that abandoned a dead
+or failing replica for the next live one, and ``migrated_chunks``
+counts chunk placements performed by ``rebalance`` while resharding
+the cluster onto a new node count.  The chaos suite asserts *exact*
+values for all three, so they share the lock discipline of the
+byte-level counters.
 """
 
 from __future__ import annotations
@@ -56,6 +65,9 @@ class IOStats:
     bytes_over_fetched: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    failovers: int = 0
+    replica_writes: int = 0
+    migrated_chunks: int = 0
 
     def __post_init__(self):
         # Not a dataclass field, so reset/snapshot/delta_since (which
@@ -103,6 +115,25 @@ class IOStats:
         """Account one chunk-cache hit (a read the cache absorbed)."""
         with self._lock:
             self.cache_hits += 1
+
+    def record_failover(self) -> None:
+        """Account one read failover: a replica that was marked dead or
+        raised was abandoned and the next replica in line was tried."""
+        with self._lock:
+            self.failovers += 1
+
+    def record_replica_writes(self, count: int) -> None:
+        """Account ``count`` redundant version copies landed on
+        non-primary replicas (one per (version, band, replica>0) that a
+        successful cluster write fanned to)."""
+        with self._lock:
+            self.replica_writes += count
+
+    def record_migrated_chunks(self, count: int) -> None:
+        """Account ``count`` chunk placements performed while resharding
+        the cluster onto a new node count (``rebalance``)."""
+        with self._lock:
+            self.migrated_chunks += count
 
     def record_cache_miss(self) -> None:
         """Account one chunk-cache miss."""

@@ -310,8 +310,21 @@ class VersionedStorageManager:
             raise
         return merged
 
-    def delete_version(self, name: str, version: int) -> None:
-        """Remove one version, re-encoding any versions delta'ed on it."""
+    def delete_version(self, name: str, version: int, *,
+                       reclaim: bool = True) -> None:
+        """Remove one version, re-encoding any versions delta'ed on it.
+
+        ``reclaim=False`` skips the co-located repack that normally
+        reclaims the deleted payloads' bytes.  The cluster rollback
+        path uses it: a compensating delete must *never* write through
+        the backend (a repack re-places every surviving payload, and
+        on a faulty or flaky substrate that write can fail between the
+        object rewrite and the catalog transaction re-pointing the
+        rows) — so the undo trades dead bytes, which no catalog row
+        references and which the next successful repack reclaims, for
+        the guarantee that the catalog stays consistent no matter what
+        the substrate does.
+        """
         record = self.catalog.get_array(name)
         self.catalog.get_version(record.array_id, version)
         self.cache.invalidate_array(record.array_id)
@@ -334,7 +347,8 @@ class VersionedStorageManager:
         self.catalog.reparent_versions(record.array_id, version,
                                        deleted_parent)
         self.store.delete_version_files(name, version)
-        self._repack(record)
+        if reclaim:
+            self._repack(record)
 
     # ------------------------------------------------------------------
     # Selection (Section II-B's four forms)

@@ -8,6 +8,7 @@ import pytest
 from repro.cluster import ClusterCoordinator
 from repro.core.errors import StorageError
 from repro.core.schema import ArraySchema, Attribute, Dimension
+from repro.storage import InMemoryBackend
 
 
 @pytest.fixture
@@ -371,6 +372,526 @@ class TestClusterBranchMerge:
         cluster.branch("A", 2, "B")
         np.testing.assert_array_equal(cluster.select("B", 1).single(),
                                       versions[1])
+
+
+def _assert_no_orphan_rows(manager) -> None:
+    """The node catalog holds no version or chunk rows for arrays (or
+    versions) that no longer exist — a failed fan-out must compensate
+    *transactionally*, not just hide the name."""
+    conn = manager.catalog._conn
+    orphan_chunks = conn.execute(
+        "SELECT COUNT(*) FROM chunks WHERE array_id NOT IN"
+        " (SELECT id FROM arrays)").fetchone()[0]
+    orphan_versions = conn.execute(
+        "SELECT COUNT(*) FROM versions WHERE array_id NOT IN"
+        " (SELECT id FROM arrays)").fetchone()[0]
+    dangling_chunks = conn.execute(
+        "SELECT COUNT(*) FROM chunks c WHERE NOT EXISTS"
+        " (SELECT 1 FROM versions v WHERE v.array_id = c.array_id"
+        "  AND v.version_num = c.version_num)").fetchone()[0]
+    assert orphan_chunks == orphan_versions == dangling_chunks == 0
+
+
+@pytest.fixture(params=[0, 4])
+def replicated(tmp_path, rng, request):
+    """A 3-band, replication=2 in-memory cluster holding 3 versions,
+    exercised serial and with node fan-out (shared by the replication
+    and mid-fan-out-death suites)."""
+    cluster = ClusterCoordinator(tmp_path, nodes=3, replication=2,
+                                 chunk_bytes=512, backend="memory",
+                                 workers=request.param)
+    schema = ArraySchema.simple((12, 8), dtype=np.int32)
+    cluster.create_array("A", schema)
+    versions = []
+    data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+    for _ in range(3):
+        versions.append(data)
+        cluster.insert("A", data)
+        data = data + 1
+    yield cluster, versions
+    cluster.close()
+
+
+class TestReplication:
+    def test_every_replica_holds_every_version(self, replicated):
+        cluster, versions = replicated
+        for row in cluster.replicas:
+            assert len(row) == 2
+            for manager in row:
+                assert manager.get_versions("A") == [1, 2, 3]
+        # Exact accounting: 3 versions x 3 bands x 1 extra copy.
+        assert cluster.stats.replica_writes == 9
+
+    def test_replica_pairs_hold_identical_bands(self, replicated):
+        cluster, _ = replicated
+        for row in cluster.replicas:
+            for version in (1, 2, 3):
+                np.testing.assert_array_equal(
+                    row[0].select("A", version).single(),
+                    row[1].select("A", version).single())
+
+    def test_reads_fail_over_to_live_replica(self, replicated):
+        cluster, versions = replicated
+        cluster.mark_dead(0, 0)
+        before = cluster.stats.failovers
+        out = cluster.select_region("A", 3, (0, 0), (3, 7))
+        np.testing.assert_array_equal(out.single(), versions[2][0:4, :])
+        # Exactly one failover: band 0's dead primary was skipped once.
+        assert cluster.stats.failovers == before + 1
+
+    def test_kill_any_single_host_keeps_all_reads_serving(
+            self, replicated):
+        cluster, versions = replicated
+        for host in range(cluster.nodes):
+            cluster.mark_node_dead(host)
+            for number, expected in enumerate(versions, 1):
+                np.testing.assert_array_equal(
+                    cluster.select("A", number).single(), expected)
+            cluster.revive_node(host)
+
+    def test_chained_declustering_host_map(self, tmp_path):
+        cluster = ClusterCoordinator(tmp_path, nodes=3, replication=2,
+                                     backend="memory")
+        cluster.mark_node_dead(1)
+        # Host 1 carries band 1's primary and band 0's second copy.
+        assert cluster.dead_replicas() == [(0, 1), (1, 0)]
+        cluster.revive_node(1)
+        assert cluster.dead_replicas() == []
+        cluster.close()
+
+    def test_all_replicas_dead_raises(self, replicated):
+        cluster, _ = replicated
+        cluster.mark_dead(1, 0)
+        cluster.mark_dead(1, 1)
+        with pytest.raises(StorageError, match="no live replica"):
+            cluster.select("A", 1)
+
+    def test_write_with_dead_replica_is_all_or_nothing(self, replicated):
+        cluster, versions = replicated
+        cluster.mark_dead(2, 1)
+        with pytest.raises(StorageError, match="marked dead"):
+            cluster.insert("A", versions[-1] + 5)
+        for row in cluster.replicas:
+            for manager in row:
+                assert manager.get_versions("A") == [1, 2, 3]
+                _assert_no_orphan_rows(manager)
+        cluster.revive(2, 1)
+        assert cluster.insert("A", versions[-1] + 5) == 4
+
+    def test_replication_cannot_exceed_nodes(self, tmp_path):
+        with pytest.raises(StorageError, match="replication"):
+            ClusterCoordinator(tmp_path, nodes=2, replication=3,
+                               backend="memory")
+
+    def test_fingerprint_invariant_under_replication(self, tmp_path,
+                                                     rng):
+        data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+        fingerprints = set()
+        for replication in (1, 2, 3):
+            cluster = ClusterCoordinator(
+                tmp_path / f"r{replication}", nodes=3,
+                replication=replication, chunk_bytes=512,
+                backend="memory")
+            cluster.create_array(
+                "A", ArraySchema.simple((12, 8), dtype=np.int32))
+            cluster.insert("A", data)
+            cluster.insert("A", data + 1)
+            fingerprints.add(cluster.fingerprint())
+            cluster.close()
+        assert len(fingerprints) == 1
+
+
+class TestMidFanOutDeath:
+    """A node dying mid-fan-out: compensation returns every landed
+    replica to the old state and leaves no orphan catalog rows."""
+
+    def test_branch_node_death_rolls_back_landed_nodes(self, replicated):
+        cluster, versions = replicated
+        victim = cluster.replicas[1][1]
+        original = victim.branch
+
+        def dying_branch(*args, **kwargs):
+            raise StorageError("node down mid-fan-out")
+
+        victim.branch = dying_branch
+        with pytest.raises(StorageError):
+            cluster.branch("A", 2, "B")
+        victim.branch = original
+        # Every replica is back at the old head with a clean catalog.
+        for row in cluster.replicas:
+            for manager in row:
+                assert manager.list_arrays() == ["A"]
+                assert manager.get_versions("A") == [1, 2, 3]
+                _assert_no_orphan_rows(manager)
+        # The name stayed free, so the retried branch lands everywhere.
+        cluster.branch("A", 2, "B")
+        np.testing.assert_array_equal(cluster.select("B", 1).single(),
+                                      versions[1])
+
+    def test_merge_node_death_rolls_back_landed_nodes(self, replicated):
+        cluster, versions = replicated
+        victim = cluster.replicas[2][0]
+        original = victim.merge
+
+        def dying_merge(*args, **kwargs):
+            raise StorageError("node down mid-fan-out")
+
+        victim.merge = dying_merge
+        with pytest.raises(StorageError):
+            cluster.merge([("A", 1), ("A", 3)], "M")
+        victim.merge = original
+        for row in cluster.replicas:
+            for manager in row:
+                assert manager.list_arrays() == ["A"]
+                _assert_no_orphan_rows(manager)
+        cluster.merge([("A", 1), ("A", 3)], "M")
+        np.testing.assert_array_equal(cluster.select("M", 2).single(),
+                                      versions[2])
+
+    def test_insert_node_death_leaves_no_orphan_rows(self, replicated):
+        cluster, versions = replicated
+        victim = cluster.replicas[0][1]
+        original = victim.insert
+
+        def dying_insert(*args, **kwargs):
+            raise StorageError("node down mid-fan-out")
+
+        victim.insert = dying_insert
+        with pytest.raises(StorageError):
+            cluster.insert("A", versions[-1] + 9)
+        victim.insert = original
+        for row in cluster.replicas:
+            for manager in row:
+                assert manager.get_versions("A") == [1, 2, 3]
+                _assert_no_orphan_rows(manager)
+        assert cluster.insert("A", versions[-1] + 9) == 4
+
+
+class TestArrayLifecycleAtomicity:
+    """create/delete are all-or-nothing across the replica grid, like
+    the version writes."""
+
+    def test_create_array_with_dead_copy_fails_before_any_copy(
+            self, tmp_path):
+        cluster = ClusterCoordinator(tmp_path, nodes=3, replication=2,
+                                     backend="memory")
+        cluster.mark_dead(1, 0)
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        with pytest.raises(StorageError, match="marked dead"):
+            cluster.create_array("A", schema)
+        for row in cluster.replicas:
+            for manager in row:
+                assert manager.list_arrays() == []
+        assert cluster.list_arrays() == []
+        cluster.revive(1, 0)
+        cluster.create_array("A", schema)
+        assert cluster.list_arrays() == ["A"]
+        cluster.close()
+
+    def test_create_array_mid_grid_failure_rolls_back(self, tmp_path):
+        cluster = ClusterCoordinator(tmp_path, nodes=3, replication=2,
+                                     backend="memory")
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        victim = cluster.replicas[2][0]
+        original = victim.create_array
+
+        def refusing_create(*args, **kwargs):
+            raise StorageError("catalog refused")
+
+        victim.create_array = refusing_create
+        with pytest.raises(StorageError, match="refused"):
+            cluster.create_array("A", schema)
+        victim.create_array = original
+        # No copy keeps the partial array; the name stays usable.
+        for row in cluster.replicas:
+            for manager in row:
+                assert manager.list_arrays() == []
+        cluster.create_array("A", schema)
+        assert cluster.list_arrays() == ["A"]
+        cluster.close()
+
+    def test_delete_array_converges_over_retries(self, tmp_path, rng):
+        """A copy whose *catalog* refuses the delete leaves a
+        retryable state: every other copy is still attempted, the name
+        stays registered, already-deleted copies count as done, and
+        the retry finishes the job."""
+        cluster = ClusterCoordinator(tmp_path, nodes=3, replication=2,
+                                     chunk_bytes=512, backend="memory")
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema)
+        cluster.insert("A",
+                       rng.integers(0, 9, (12, 8)).astype(np.int32))
+        victim = cluster.replicas[1][1]
+        original = victim.delete_array
+
+        def refusing_delete(name):
+            raise StorageError("catalog refused the delete")
+
+        victim.delete_array = refusing_delete
+        with pytest.raises(StorageError, match="refused"):
+            cluster.delete_array("A")
+        victim.delete_array = original
+        # Every healthy copy already dropped it; the sick one did not,
+        # and the name is still registered so the delete can converge.
+        assert cluster.list_arrays() == ["A"]
+        assert victim.list_arrays() == ["A"]
+        cluster.delete_array("A")
+        assert cluster.list_arrays() == []
+        for row in cluster.replicas:
+            for manager in row:
+                assert manager.list_arrays() == []
+        cluster.close()
+
+    def test_delete_array_with_dead_copy_fails_untouched(self, tmp_path,
+                                                         rng):
+        cluster = ClusterCoordinator(tmp_path, nodes=3, replication=2,
+                                     chunk_bytes=512, backend="memory")
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema)
+        data = rng.integers(0, 9, (12, 8)).astype(np.int32)
+        cluster.insert("A", data)
+        cluster.mark_dead(0, 1)
+        with pytest.raises(StorageError, match="marked dead"):
+            cluster.delete_array("A")
+        # Nothing was deleted anywhere; the array still serves.
+        np.testing.assert_array_equal(cluster.select("A", 1).single(),
+                                      data)
+        cluster.revive(0, 1)
+        cluster.delete_array("A")
+        assert cluster.list_arrays() == []
+        cluster.close()
+
+
+class _RecordingBackend(InMemoryBackend):
+    """An in-memory backend that remembers whether it was closed."""
+
+    def __init__(self):
+        super().__init__()
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+        super().close()
+
+
+def _recording_factory(built, fail_at=None):
+    """A backend factory appending each build to ``built`` and raising
+    once ``fail_at`` backends exist."""
+
+    def factory(root):
+        if fail_at is not None and len(built) == fail_at:
+            raise StorageError(f"node {fail_at} refused to boot")
+        backend = _RecordingBackend()
+        built.append(backend)
+        return backend
+
+    return factory
+
+
+class TestManagerLifecycleCleanup:
+    """The coordinator releases every per-node manager it built —
+    including when construction itself fails partway."""
+
+    def test_construction_failure_closes_built_managers(self, tmp_path):
+        built = []
+        with pytest.raises(StorageError, match="refused to boot"):
+            ClusterCoordinator(tmp_path, nodes=2, replication=2,
+                               backend=_recording_factory(built,
+                                                          fail_at=3))
+        # Three managers came up before the fourth failed; all three
+        # were closed again (no leaked executors or SQLite handles).
+        assert len(built) == 3
+        assert all(backend.closed for backend in built)
+
+    def test_close_reaches_every_replica(self, tmp_path):
+        built = []
+        cluster = ClusterCoordinator(tmp_path, nodes=3, replication=2,
+                                     backend=_recording_factory(built))
+        assert len(built) == 6
+        cluster.close()
+        assert all(backend.closed for backend in built)
+
+    def test_construction_error_not_masked_by_close_failure(
+            self, tmp_path):
+        """The caller must see why construction sank, even when
+        cleaning up a built manager fails too."""
+        calls = []
+
+        class ExplodingClose(InMemoryBackend):
+            def close(self):
+                raise RuntimeError("close exploded")
+
+        def factory(root):
+            if len(calls) == 2:
+                raise StorageError("node 2 refused to boot")
+            calls.append(root)
+            return ExplodingClose()
+
+        with pytest.raises(StorageError, match="refused to boot"):
+            ClusterCoordinator(tmp_path, nodes=3, backend=factory)
+
+
+class TestRebalance:
+    @pytest.fixture
+    def grown(self, tmp_path, rng):
+        cluster = ClusterCoordinator(tmp_path, nodes=3, replication=2,
+                                     chunk_bytes=512, backend="memory")
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema)
+        versions = []
+        data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+        for _ in range(3):
+            versions.append(data)
+            cluster.insert("A", data)
+            data = data + 1
+        cluster.branch("A", 2, "B")
+        yield cluster, versions
+        cluster.close()
+
+    def test_fingerprint_identical_across_reshard(self, grown):
+        cluster, versions = grown
+        fingerprint = cluster.fingerprint()
+        migrated = cluster.rebalance(4)
+        assert cluster.nodes == 4
+        assert migrated > 0
+        assert cluster.stats.migrated_chunks == migrated
+        assert cluster.fingerprint() == fingerprint
+        # Shrinking back is a reshard too, and still byte-identical.
+        cluster.rebalance(2)
+        assert cluster.nodes == 2
+        assert cluster.fingerprint() == fingerprint
+        for number, expected in enumerate(versions, 1):
+            np.testing.assert_array_equal(
+                cluster.select("A", number).single(), expected)
+        np.testing.assert_array_equal(cluster.select("B", 1).single(),
+                                      versions[1])
+
+    def test_cluster_keeps_growing_after_reshard(self, grown):
+        cluster, versions = grown
+        cluster.rebalance(4)
+        assert cluster.insert("A", versions[-1] + 7) == 4
+        np.testing.assert_array_equal(cluster.select("A", 4).single(),
+                                      versions[-1] + 7)
+        # New bands partition 12 rows over 4 nodes.
+        for manager in cluster.managers:
+            assert manager.catalog.get_array("A").schema.shape == (3, 8)
+
+    def test_rebalance_replays_identically_onto_disk(self, tmp_path,
+                                                     rng):
+        """On a disk-backed cluster the old generation's node roots are
+        released and removed once the new generation is adopted."""
+        cluster = ClusterCoordinator(tmp_path / "cl", nodes=3,
+                                     chunk_bytes=512)
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema)
+        data = rng.integers(0, 100, (12, 8)).astype(np.int32)
+        cluster.insert("A", data)
+        fingerprint = cluster.fingerprint()
+        cluster.rebalance(2)
+        assert sorted(p.name for p in (tmp_path / "cl").iterdir()) == \
+            ["gen1"]
+        assert cluster.fingerprint() == fingerprint
+        cluster.rebalance(4)
+        assert sorted(p.name for p in (tmp_path / "cl").iterdir()) == \
+            ["gen2"]
+        assert cluster.fingerprint() == fingerprint
+        np.testing.assert_array_equal(cluster.select("A", 1).single(),
+                                      data)
+        cluster.close()
+
+    def test_rebalance_reads_around_dead_copies(self, grown):
+        """Evacuating a cluster with a dead host works while every
+        band keeps a live copy (quorum reads feed the migration)."""
+        cluster, versions = grown
+        fingerprint = cluster.fingerprint()
+        cluster.mark_node_dead(0)
+        cluster.rebalance(4)
+        assert cluster.fingerprint() == fingerprint
+        # The new generation is a fresh, fully live fleet.
+        assert cluster.dead_replicas() == []
+
+    def test_failed_rebalance_leaves_old_generation_untouched(
+            self, grown, monkeypatch):
+        cluster, versions = grown
+        fingerprint = cluster.fingerprint()
+        original = ClusterCoordinator._migrate_version
+        calls = []
+
+        def dying_migrate(self, name, version, plan, fresh):
+            calls.append(version)
+            if len(calls) == 2:
+                raise StorageError("migration interrupted")
+            return original(self, name, version, plan, fresh)
+
+        monkeypatch.setattr(ClusterCoordinator, "_migrate_version",
+                            dying_migrate)
+        with pytest.raises(StorageError, match="interrupted"):
+            cluster.rebalance(4)
+        monkeypatch.undo()
+        # Old generation intact and serving; no half-built gen1 left.
+        assert cluster.nodes == 3
+        assert cluster.stats.migrated_chunks == 0
+        assert cluster.fingerprint() == fingerprint
+        assert not (cluster.root / "gen1").exists()
+        # And the reshard still lands once the interruption clears.
+        cluster.rebalance(4)
+        assert cluster.fingerprint() == fingerprint
+
+    def test_bad_target_counts_rejected(self, grown):
+        cluster, _ = grown
+        with pytest.raises(StorageError):
+            cluster.rebalance(0)
+        with pytest.raises(StorageError, match="replication"):
+            cluster.rebalance(1)  # replication=2 needs >= 2 nodes
+
+    def test_rebalance_preserves_explicit_chunk_shape(self, tmp_path,
+                                                      rng):
+        cluster = ClusterCoordinator(tmp_path, nodes=3,
+                                     chunk_bytes=512, backend="memory")
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema, chunk_shape=(2, 8))
+        cluster.insert("A",
+                       rng.integers(0, 9, (12, 8)).astype(np.int32))
+        cluster.rebalance(4)
+        for manager in cluster.managers:
+            assert manager.catalog.get_array("A").chunk_shape == (2, 8)
+        cluster.close()
+
+    def test_failed_generation_construction_leaves_no_debris(
+            self, tmp_path, rng):
+        """A backend factory that refuses to build the new generation
+        aborts the reshard with the old cluster intact and no gen<k>
+        directories on disk for a later rebalance to adopt."""
+        from repro.storage import LocalFileBackend
+
+        state = {"built": 0, "refuse": False}
+
+        def factory(root):
+            # Refuse only after two replacement nodes came up, so the
+            # half-built generation really leaves directories behind
+            # for the cleanup to remove.
+            if state["refuse"] and state["built"] >= 5:
+                raise StorageError("replacement node refused to boot")
+            state["built"] += 1
+            return LocalFileBackend(root)
+
+        cluster = ClusterCoordinator(tmp_path / "cl", nodes=3,
+                                     chunk_bytes=512, backend=factory)
+        schema = ArraySchema.simple((12, 8), dtype=np.int32)
+        cluster.create_array("A", schema)
+        data = rng.integers(0, 9, (12, 8)).astype(np.int32)
+        cluster.insert("A", data)
+        fingerprint = cluster.fingerprint()
+        state["refuse"] = True
+        with pytest.raises(StorageError, match="refused to boot"):
+            cluster.rebalance(4)
+        state["refuse"] = False
+        assert not (tmp_path / "cl" / "gen1").exists()
+        assert cluster.nodes == 3
+        assert cluster.fingerprint() == fingerprint
+        cluster.rebalance(4)
+        assert cluster.fingerprint() == fingerprint
+        cluster.close()
 
 
 class TestValidation:

@@ -18,6 +18,7 @@ from repro.core.schema import ArraySchema
 from repro.storage import (
     COLOCATED,
     PER_VERSION,
+    FaultInjectingBackend,
     InMemoryBackend,
     IOStats,
     LocalFileBackend,
@@ -27,6 +28,7 @@ from repro.storage import (
     VersionedStorageManager,
     default_backend_spec,
     ensure_backend_spec,
+    parse_faulty_spec,
     parse_object_spec,
     parse_striped_spec,
     resolve_backend,
@@ -50,12 +52,21 @@ def _make_backend(kind: str, tmp_path) -> StorageBackend:
     if kind == "striped-object":
         return StripedBackend([ObjectStoreBackend(tmp_path / f"stripe{i}")
                                for i in range(3)])
+    if kind == "faulty":
+        # Fault-free mode: the wrapper must be indistinguishable from
+        # its inner backend across the whole conformance suite.
+        return FaultInjectingBackend(LocalFileBackend(tmp_path / "store"),
+                                     seed=0)
+    if kind == "faulty-object":
+        return FaultInjectingBackend(
+            ObjectStoreBackend(tmp_path / "store"), seed=0)
     return StripedBackend([InMemoryBackend() for _ in range(3)])
 
 
 @pytest.fixture(params=["local", "durable", "memory", "object",
                         "object-durable", "striped-local",
-                        "striped-memory", "striped-object"])
+                        "striped-memory", "striped-object",
+                        "faulty", "faulty-object"])
 def backend(request, tmp_path) -> StorageBackend:
     return _make_backend(request.param, tmp_path)
 
@@ -197,8 +208,12 @@ class TestDeleteContract:
         for child in striped.children:
             assert child.total_bytes("A") == 0
 
-    def test_delete_aborts_pending_uploads(self, tmp_path):
-        backend = _make_backend("object", tmp_path)
+    @pytest.mark.parametrize("kind", ["object", "faulty-object"])
+    def test_delete_aborts_pending_uploads(self, tmp_path, kind):
+        # The fault-free wrapper forwards the staged-upload abort
+        # contract untouched (pending_parts stays observable through
+        # the wrapper).
+        backend = _make_backend(kind, tmp_path)
         backend.append("A/c.dat", b"staged")
         assert backend.pending_parts("A/c.dat") == 1
         backend.delete("A/c.dat")
@@ -436,17 +451,58 @@ class TestObjectSpec:
         assert durable.durable
 
 
+class TestFaultySpec:
+    def test_parse_valid(self):
+        assert parse_faulty_spec("faulty:0") == (0, "local")
+        assert parse_faulty_spec("faulty:7") == (7, "local")
+        assert parse_faulty_spec("faulty:23:memory") == (23, "memory")
+        assert parse_faulty_spec("faulty:1:object") == (1, "object")
+
+    @pytest.mark.parametrize("spec", [
+        "faulty", "faulty:", "faulty:-1", "faulty:x",
+        "faulty:2:tape", "faulty:2:memory:extra", "faulty:2.5",
+    ])
+    def test_parse_invalid(self, spec):
+        with pytest.raises(StorageError):
+            parse_faulty_spec(spec)
+
+    def test_error_messages_name_the_defect(self):
+        with pytest.raises(StorageError, match="integer seed"):
+            parse_faulty_spec("faulty:x")
+        with pytest.raises(StorageError, match="seed >= 0"):
+            parse_faulty_spec("faulty:-3")
+        with pytest.raises(StorageError,
+                           match="unknown inner backend 'tape'"):
+            parse_faulty_spec("faulty:2:tape")
+        with pytest.raises(StorageError, match="malformed"):
+            parse_faulty_spec("faulty:2:memory:extra")
+
+    def test_resolve(self, tmp_path):
+        backend = resolve_backend("faulty:7", tmp_path)
+        assert isinstance(backend, FaultInjectingBackend)
+        assert isinstance(backend.inner, LocalFileBackend)
+        assert backend.seed == 7 and not backend.ephemeral
+        wrapped = resolve_backend("faulty:0:memory", tmp_path)
+        assert isinstance(wrapped.inner, InMemoryBackend)
+        assert wrapped.ephemeral
+        objecty = resolve_backend("faulty:3:object", tmp_path)
+        assert isinstance(objecty.inner, ObjectStoreBackend)
+        assert objecty.high_latency
+
+
 class TestEnsureBackendSpec:
     @pytest.mark.parametrize("spec", [
         "local", "memory", "durable", "object", "object:durable",
         "striped:2", "striped:3:memory", "striped:2:object",
+        "faulty:0", "faulty:7:memory", "faulty:23:object",
     ])
     def test_valid_specs_pass_through(self, spec):
         assert ensure_backend_spec(spec) == spec
 
     @pytest.mark.parametrize("spec", [
         "tape", "", "object:tape", "striped:zero", "striped:0",
-        "OBJECT", "local:durable",
+        "OBJECT", "local:durable", "faulty", "faulty:-1",
+        "faulty:1:tape",
     ])
     def test_invalid_specs_rejected(self, spec):
         with pytest.raises(StorageError):
@@ -526,8 +582,8 @@ class TestResolveBackend:
 
 
 #: The (backend, placement, workers) grid every storage semantic must
-#: agree on: plain, striped, and object-store backends, serial and
-#: parallel decode.
+#: agree on: plain, striped, object-store, and (fault-free)
+#: fault-injection-wrapped backends, serial and parallel decode.
 CONFIGS = [("local", COLOCATED, 0), ("local", PER_VERSION, 0),
            ("memory", COLOCATED, 0), ("memory", PER_VERSION, 0),
            ("striped:3", COLOCATED, 0), ("striped:3", PER_VERSION, 4),
@@ -535,7 +591,9 @@ CONFIGS = [("local", COLOCATED, 0), ("local", PER_VERSION, 0),
            ("local", COLOCATED, 4), ("memory", COLOCATED, 4),
            ("object", COLOCATED, 0), ("object", PER_VERSION, 4),
            ("object:durable", COLOCATED, 4),
-           ("striped:2:object", COLOCATED, 4)]
+           ("striped:2:object", COLOCATED, 4),
+           ("faulty:0", COLOCATED, 0), ("faulty:0:memory", PER_VERSION, 0),
+           ("faulty:0:object", COLOCATED, 4)]
 
 
 def _exercise(manager: VersionedStorageManager) -> dict:

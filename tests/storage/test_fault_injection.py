@@ -3,6 +3,13 @@
 The storage layer must fail loudly — never return wrong array contents —
 when the chunk files on disk are damaged (Zen: "errors should never
 pass silently").
+
+The second half exercises :class:`FaultInjectingBackend`, the *seeded*
+half of the story: instead of hand-corrupting files, a deterministic
+schedule makes the substrate itself misbehave — Nth-write failures,
+torn appends, barrier errors, dead nodes — and the storage stack must
+keep its transactional promises (no catalog trace of a failed version,
+clean retry, loud reads on a dead node).
 """
 
 from __future__ import annotations
@@ -14,7 +21,13 @@ import pytest
 
 from repro.core.errors import CodecError, ReproError, StorageError
 from repro.core.schema import ArraySchema
-from repro.storage import VersionedStorageManager
+from repro.storage import (
+    FAULT_KINDS,
+    FaultInjectingBackend,
+    InMemoryBackend,
+    VersionedStorageManager,
+    seeded_fault_schedule,
+)
 
 
 @pytest.fixture
@@ -113,3 +126,167 @@ class TestCatalogRobustness:
         np.testing.assert_array_equal(
             reopened.select("A", 2).single(), data + 7)
         reopened.catalog.close()
+
+
+class TestSeededSchedule:
+    def test_seed_zero_is_fault_free(self):
+        assert seeded_fault_schedule(0) == \
+            {kind: frozenset() for kind in FAULT_KINDS}
+
+    def test_same_seed_same_schedule(self):
+        assert seeded_fault_schedule(7) == seeded_fault_schedule(7)
+        assert seeded_fault_schedule(7) != seeded_fault_schedule(23)
+
+    def test_schedule_covers_every_kind(self):
+        schedule = seeded_fault_schedule(11)
+        assert set(schedule) == set(FAULT_KINDS)
+        for indices in schedule.values():
+            assert indices and all(index >= 1 for index in indices)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(StorageError):
+            seeded_fault_schedule(-1)
+
+    def test_unknown_kind_in_explicit_schedule_rejected(self):
+        with pytest.raises(StorageError, match="unknown operation"):
+            FaultInjectingBackend(InMemoryBackend(),
+                                  schedule={"read": frozenset({1})})
+
+
+class TestInjectedFaults:
+    def test_nth_write_fails_without_landing(self):
+        backend = FaultInjectingBackend(
+            InMemoryBackend(), schedule={"write": frozenset({2})})
+        backend.write("A/c.dat", b"first")
+        with pytest.raises(StorageError, match="write #2"):
+            backend.write("A/c.dat", b"second")
+        # The failed write left the object untouched.
+        assert backend.read("A/c.dat", 0, 5) == b"first"
+        backend.write("A/c.dat", b"third")
+        assert backend.read("A/c.dat", 0, 5) == b"third"
+        assert backend.injected == [("write", 2)]
+        assert backend.faults_injected == 1
+
+    def test_torn_append_leaves_deterministic_prefix(self):
+        def run():
+            backend = FaultInjectingBackend(
+                InMemoryBackend(), seed=9,
+                schedule={"append": frozenset({2})})
+            backend.append("A/c.dat", b"0123456789")
+            with pytest.raises(StorageError, match="torn"):
+                backend.append("A/c.dat", b"abcdefghij")
+            return backend.total_bytes("A/c.dat")
+
+        first, second = run(), run()
+        # The tear point is derived from (seed, index): replayable.
+        assert first == second
+        assert 10 <= first < 20  # a strict prefix of the torn payload
+
+    def test_sync_fault_raises_before_barrier(self, tmp_path):
+        inner = InMemoryBackend()
+        synced = []
+        inner.sync = lambda paths, max_workers=0: synced.append(paths)
+        backend = FaultInjectingBackend(
+            inner, schedule={"sync": frozenset({1})})
+        with pytest.raises(StorageError, match="sync #1"):
+            backend.sync(["A/c.dat"])
+        assert synced == []  # the inner barrier never ran
+        backend.sync(["A/c.dat"])
+        assert synced == [["A/c.dat"]]
+
+    def test_dead_node_blackholes_every_operation(self):
+        backend = FaultInjectingBackend(InMemoryBackend(), seed=0)
+        backend.write("A/c.dat", b"alive")
+        backend.mark_dead()
+        assert backend.dead
+        for op in (lambda: backend.write("A/c.dat", b"x"),
+                   lambda: backend.append("A/c.dat", b"x"),
+                   lambda: backend.read("A/c.dat", 0, 5),
+                   lambda: backend.read_many("A/c.dat", [(0, 5)]),
+                   lambda: backend.sync(["A/c.dat"]),
+                   lambda: backend.delete("A/c.dat"),
+                   lambda: backend.total_bytes()):
+            with pytest.raises(StorageError, match="dead"):
+                op()
+        backend.revive()
+        assert backend.read("A/c.dat", 0, 5) == b"alive"
+
+    def test_faults_replay_identically_across_instances(self):
+        def drive(backend):
+            fired = []
+            for index in range(1, 25):
+                try:
+                    backend.append("A/c.dat", bytes(8))
+                except StorageError:
+                    fired.append(index)
+            return fired
+
+        first = drive(FaultInjectingBackend(InMemoryBackend(), seed=23))
+        second = drive(FaultInjectingBackend(InMemoryBackend(), seed=23))
+        assert first == second and first  # same schedule, faults fired
+
+
+class TestManagerUnderInjectedFaults:
+    """The transactional write path keeps its promises when the
+    substrate itself fails mid-version."""
+
+    def test_failed_insert_leaves_no_catalog_trace_and_retries(
+            self, tmp_path, rng):
+        manager = VersionedStorageManager(
+            tmp_path, chunk_bytes=1024,
+            backend=FaultInjectingBackend(
+                InMemoryBackend(),
+                schedule={"append": frozenset({2})}))
+        manager.create_array("A", ArraySchema.simple((16, 16),
+                                                     dtype=np.int32))
+        data = rng.integers(0, 1000, (16, 16)).astype(np.int32)
+        manager.insert("A", data)
+        with pytest.raises(StorageError, match="torn"):
+            manager.insert("A", data + 1)
+        # No partial version: the catalog never saw the failed insert.
+        assert manager.get_versions("A") == [1]
+        # The torn debris is unreferenced; the retry lands cleanly.
+        assert manager.insert("A", data + 1) == 2
+        np.testing.assert_array_equal(manager.select("A", 2).single(),
+                                      data + 1)
+        np.testing.assert_array_equal(manager.select("A", 1).single(),
+                                      data)
+        manager.close()
+
+    def test_sync_fault_blocks_the_catalog_commit(self, tmp_path, rng):
+        manager = VersionedStorageManager(
+            tmp_path, chunk_bytes=1024,
+            backend=FaultInjectingBackend(
+                InMemoryBackend(),
+                schedule={"sync": frozenset({2})}))
+        manager.create_array("A", ArraySchema.simple((8, 8),
+                                                     dtype=np.int32))
+        data = rng.integers(0, 100, (8, 8)).astype(np.int32)
+        manager.insert("A", data)
+        with pytest.raises(StorageError, match="sync #2"):
+            manager.insert("A", data + 1)
+        assert manager.get_versions("A") == [1]
+        assert manager.insert("A", data + 1) == 2
+        manager.close()
+
+    def test_dead_node_reads_fail_loudly(self, tmp_path, rng):
+        backend = FaultInjectingBackend(InMemoryBackend(), seed=0)
+        manager = VersionedStorageManager(tmp_path, chunk_bytes=1024,
+                                          backend=backend)
+        manager.create_array("A", ArraySchema.simple((8, 8),
+                                                     dtype=np.int32))
+        data = rng.integers(0, 100, (8, 8)).astype(np.int32)
+        manager.insert("A", data)
+        backend.mark_dead()
+        with pytest.raises(StorageError, match="dead"):
+            manager.select("A", 1)
+        backend.revive()
+        np.testing.assert_array_equal(manager.select("A", 1).single(),
+                                      data)
+        manager.close()
+
+    def test_spec_string_reaches_the_manager(self, tmp_path):
+        manager = VersionedStorageManager(tmp_path, backend="faulty:0")
+        assert isinstance(manager.backend, FaultInjectingBackend)
+        assert manager.backend.seed == 0
+        manager.close()

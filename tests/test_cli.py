@@ -159,11 +159,26 @@ class TestConcurrencyFlags:
         out = capsys.readouterr().out
         assert "versions:    1" in out
 
+    def test_faulty_backend_round_trip(self, tmp_path, capsys):
+        # Fault-free mode (seed 0): the wrapper is a transparent pass-
+        # through, so a store written through it reads back normally.
+        root = tmp_path / "faulty-store"
+        with Database(root, chunk_bytes=2048, backend="faulty:0") as db:
+            db.execute("CREATE UPDATABLE ARRAY Example "
+                       "( A::INTEGER ) [ I=0:7, J=0:7 ];")
+            db.insert("Example",
+                      np.arange(64, dtype=np.int32).reshape(8, 8))
+        assert main([str(root), "--backend", "faulty:0", "info",
+                     "Example"]) == 0
+        out = capsys.readouterr().out
+        assert "versions:    1" in out
+
     def test_invalid_striped_spec_fails_before_side_effects(
             self, tmp_path):
         root = tmp_path / "never-created"
         for spec in ("striped:0", "striped:x", "striped:2:tape",
-                     "object:tape", "object:durable:extra"):
+                     "object:tape", "object:durable:extra",
+                     "faulty", "faulty:-1", "faulty:1:tape"):
             with pytest.raises(SystemExit):
                 main([str(root), "--backend", spec, "list"])
         assert not root.exists()
