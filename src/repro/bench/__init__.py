@@ -8,6 +8,7 @@ from paper artifact to module is DESIGN.md's per-experiment index.
 from repro.bench import (
     ablations,
     cluster,
+    codec,
     fig2,
     ingest,
     materialization,
@@ -25,6 +26,7 @@ from repro.bench.harness import fmt_bytes, fmt_seconds, print_table, timed
 __all__ = [
     "ablations",
     "cluster",
+    "codec",
     "fig2",
     "fmt_bytes",
     "fmt_seconds",

@@ -163,6 +163,23 @@ def run(versions: int = 12, shape: tuple[int, ...] = (1024, 1024),
     return rows
 
 
+def run_full(json_path: str | Path | None = "BENCH_ingest.json",
+             quiet: bool = False) -> list[dict]:
+    """The CI grid: the placement-bound sweep over every backend plus
+    the CPU-bound ``chain`` cells (every version hybrid-delta-encoded
+    against its parent) on the fast substrates, merged into one
+    artifact.  Each profile carries its own reference fingerprint —
+    the two store different bytes by design — and the regression gate
+    tells the rows apart by their ``delta_policy`` column."""
+    rows = run(backends=("local", "durable", "memory", "striped:2",
+                         "object"),
+               workers=(1, 4), quiet=quiet)
+    rows += run(backends=("local", "memory"), workers=(1, 4),
+                delta_policy="chain", quiet=quiet)
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(rows, indent=2))
+    return rows
+
+
 if __name__ == "__main__":  # pragma: no cover
-    run(backends=("local", "durable", "memory", "striped:2", "object"),
-        workers=(1, 4), json_path="BENCH_ingest.json")
+    run_full()

@@ -62,9 +62,21 @@ def lz_bytes(blob: bytes, level: int = 6) -> bytes:
     return zlib.compress(blob, level)
 
 
-def unlz_bytes(blob: bytes) -> bytes:
-    """Inverse of :func:`lz_bytes`."""
+def unlz_bytes(blob) -> bytes:
+    """Inverse of :func:`lz_bytes`; accepts any bytes-like buffer.
+
+    Strict about stream length: a truncated stream and trailing bytes
+    after the stream's end both raise (one-shot ``zlib.decompress``
+    would silently ignore the latter), so addressing bugs in the
+    storage layer surface instead of vanishing."""
+    decomp = zlib.decompressobj()
     try:
-        return zlib.decompress(blob)
+        out = decomp.decompress(blob) + decomp.flush()
     except zlib.error as exc:
         raise CodecError(f"LZ stream corrupt: {exc}") from exc
+    if not decomp.eof:
+        raise CodecError("LZ stream corrupt: truncated stream")
+    if decomp.unused_data:
+        raise CodecError(f"LZ stream has {len(decomp.unused_data)} "
+                         "trailing bytes")
+    return out

@@ -15,10 +15,33 @@ packing machinery:
   signed deltas onto small unsigned codes (0, -1, 1, -2, ... -> 0, 1, 2,
   3, ...), so that deltas centred on zero pack tightly.
 
+The stream layout is LSB-first: value ``i`` occupies bit positions
+``[i*bits, (i+1)*bits)`` of the stream, least significant bit first,
+and the stream is stored little-endian — which makes the byte string
+exactly the memory image of a little-endian uint64 word array.  The
+kernels exploit that: each value contributes one-or-two shifted 64-bit
+words to the stream, O(count) word operations instead of the seed's
+O(count x bits) per-bit matrix expansion.  Large arrays use the block
+kernel — 64 values of width D span exactly D words, so the shift/word
+pattern repeats with period 64 and one vectorized column op per lane
+packs (or unpacks) that lane across *every* block at once; small
+arrays use a constant-call-count scatter (``np.bitwise_or.reduceat``
+over the non-decreasing word indices) / gather instead, which costs a
+dozen numpy calls regardless of width.  For D in {8, 16, 32, 64} the
+stream *is* a little-endian fixed-width integer array, so those widths
+reduce to pure ``astype``/``view`` reinterprets.
+
+``unpack_unsigned`` is strict about length: the input must be exactly
+the packed size — short *and* trailing bytes both raise — so callers
+hand it exact-length views (slices of a ``memoryview`` work and avoid
+copies; any buffer-protocol object is accepted).
+
 All functions operate on flat arrays; callers reshape as needed.
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
@@ -26,6 +49,27 @@ from repro.core.errors import CodecError
 
 #: Hard upper bound on bit width — codes are manipulated as uint64.
 MAX_BITS = 64
+
+#: Widths whose packed stream is exactly a little-endian fixed-width
+#: integer array, served by pure dtype reinterprets.
+_FAST_DTYPES = {8: "<u1", 16: "<u2", 32: "<u4", 64: "<u8"}
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Element count above which the 64-value block kernels beat the
+#: constant-call-count scatter/gather kernels (the block kernels issue
+#: ~2 numpy calls per lane, a fixed ~128-call overhead that only pays
+#: off once the per-element savings outgrow it).
+_BLOCK_THRESHOLD = 8192
+
+#: Values per block: 64 values of width D span exactly D uint64 words,
+#: so the (word, shift) pattern repeats with this period.
+_BLOCK = 64
+
+#: Widest width still unpacked by per-bit expansion (unpackbits +
+#: weight matmul): below this the bit matrix is tiny and beats the
+#: word kernels' per-element constants.
+_MATMUL_BITS = 5
 
 
 def required_bits(max_value: int) -> int:
@@ -53,6 +97,72 @@ def required_bits_for(values: np.ndarray) -> int:
     return required_bits(int(values.max()))
 
 
+def _scatter_or(words: np.ndarray, index: np.ndarray,
+                contributions: np.ndarray) -> None:
+    """OR ``contributions`` into ``words`` at ``index`` (non-decreasing).
+
+    Duplicate indices are legal (several values land in one word); the
+    non-decreasing order lets ``np.bitwise_or.reduceat`` collapse each
+    run of equal indices in one vectorized pass instead of a per-element
+    ``ufunc.at`` scatter.
+    """
+    starts = np.flatnonzero(index[1:] != index[:-1]) + 1
+    starts = np.concatenate(([0], starts))
+    words[index[starts]] |= np.bitwise_or.reduceat(contributions, starts)
+
+
+def _pack_words_scatter(values: np.ndarray, bits: int,
+                        n_words: int) -> np.ndarray:
+    """Pack via per-value word scatter — a dozen numpy calls total."""
+    count = values.size
+    bit_start = np.arange(count, dtype=np.uint64) * np.uint64(bits)
+    word = (bit_start >> np.uint64(6)).astype(np.intp)
+    shift = bit_start & np.uint64(63)
+
+    words = np.zeros(n_words, dtype=np.uint64)
+    # Low contribution: the value's bits that land inside word[i].
+    _scatter_or(words, word, values << shift)
+    # High contribution: the spill into word[i] + 1 when the value
+    # straddles a word boundary.  A shift by 64 is undefined for
+    # uint64, so shift == 0 (which can never spill at width <= 64) is
+    # masked to a zero contribution, and the spill index of the final
+    # value is clamped — whenever the clamp engages the contribution
+    # is provably zero, because the stream ends inside the last word.
+    spill = np.where(shift == np.uint64(0), np.uint64(0),
+                     values >> ((np.uint64(64) - shift) & np.uint64(63)))
+    _scatter_or(words, np.minimum(word + 1, n_words - 1), spill)
+    return words
+
+
+def _pack_words_blocked(values: np.ndarray, bits: int) -> np.ndarray:
+    """Pack via the 64-value block kernel.
+
+    64 values of width ``bits`` span exactly ``bits`` words, so the
+    (word, shift) pattern is identical in every block: one shifted OR
+    per lane packs that lane across all blocks at once.  The trailing
+    partial block is zero-padded — zero contributions are no-ops and
+    the caller truncates the byte stream to the exact packed size.
+    """
+    count = values.size
+    n_blocks = -(-count // _BLOCK)
+    if n_blocks * _BLOCK != count:
+        padded = np.zeros(n_blocks * _BLOCK, dtype=np.uint64)
+        padded[:count] = values
+        values = padded
+    lanes = values.reshape(n_blocks, _BLOCK)
+    words = np.zeros((n_blocks, bits), dtype=np.uint64)
+    for lane in range(_BLOCK):
+        start = lane * bits
+        word, shift = start >> 6, start & 63
+        column = lanes[:, lane]
+        words[:, word] |= column << np.uint64(shift)
+        if shift + bits > 64:
+            # The lane straddles a word boundary; its end bit
+            # 64 * bits - 1 stays inside the block, so word + 1 < bits.
+            words[:, word + 1] |= column >> np.uint64(64 - shift)
+    return words.reshape(-1)
+
+
 def pack_unsigned(values: np.ndarray, bits: int) -> bytes:
     """Pack unsigned integer codes into ``bits`` bits each, LSB-first.
 
@@ -73,28 +183,124 @@ def pack_unsigned(values: np.ndarray, bits: int) -> bytes:
     if bits < MAX_BITS and int(values.max()) >> bits:
         raise CodecError(
             f"value {int(values.max())} does not fit in {bits} bits")
-    shifts = np.arange(bits, dtype=np.uint64)
-    bit_matrix = ((values[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
-    return np.packbits(bit_matrix.ravel(), bitorder="little").tobytes()
+
+    fast = _FAST_DTYPES.get(bits)
+    if fast is not None:
+        return values.astype(fast, copy=False).tobytes()
+
+    count = values.size
+    n_words = (count * bits + 63) // 64
+    if count >= _BLOCK_THRESHOLD:
+        words = _pack_words_blocked(values, bits)
+    else:
+        words = _pack_words_scatter(values, bits, n_words)
+
+    needed = (count * bits + 7) // 8
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        words = words.astype("<u8")
+    return words.view(np.uint8)[:needed].tobytes()
 
 
-def unpack_unsigned(data: bytes, bits: int, count: int) -> np.ndarray:
-    """Inverse of :func:`pack_unsigned`; returns a uint64 array of ``count``."""
+def unpack_unsigned(data, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_unsigned`; returns a uint64 array of ``count``.
+
+    ``data`` may be any buffer-protocol object (``bytes``,
+    ``memoryview``, ...) and must be *exactly* ``packed_size(count,
+    bits)`` bytes — both truncated and trailing bytes raise, so framing
+    errors surface at the codec layer instead of decoding garbage.
+    """
     if not 0 <= bits <= MAX_BITS:
         raise CodecError(f"bit width {bits} outside [0, {MAX_BITS}]")
     if count < 0:
         raise CodecError(f"count must be non-negative, got {count}")
-    if bits == 0 or count == 0:
-        return np.zeros(count, dtype=np.uint64)
     needed = (count * bits + 7) // 8
     if len(data) < needed:
         raise CodecError(
             f"packed stream too short: need {needed} bytes, have {len(data)}")
+    if len(data) > needed:
+        raise CodecError(
+            f"packed stream has {len(data) - needed} trailing bytes: "
+            f"need exactly {needed}, have {len(data)}")
+    if bits == 0 or count == 0:
+        return np.zeros(count, dtype=np.uint64)
+
+    fast = _FAST_DTYPES.get(bits)
+    if fast is not None:
+        # astype always copies here, so the result is writable even
+        # though np.frombuffer returns a read-only view.
+        return np.frombuffer(data, dtype=fast).astype(np.uint64)
+
+    if bits <= _MATMUL_BITS:
+        return _unpack_bits_matmul(data, bits, count, needed)
+    mask = np.uint64(0xFFFFFFFFFFFFFFFF) if bits == MAX_BITS \
+        else np.uint64((1 << bits) - 1)
+    if count >= _BLOCK_THRESHOLD:
+        return _unpack_words_blocked(data, bits, count, needed, mask)
+    return _unpack_words_gather(data, bits, count, needed, mask)
+
+
+def _unpack_bits_matmul(data, bits: int, count: int,
+                        needed: int) -> np.ndarray:
+    """Unpack via per-bit expansion — only for the narrowest widths.
+
+    At D <= ~5 the O(count x D) ``unpackbits`` + weight matmul beats
+    the O(count) word kernels because D is so small that the per-bit
+    matrix stays tiny while the word kernels' per-element constants
+    don't shrink; measured crossover is between 5 and 6 bits."""
     raw = np.frombuffer(data, dtype=np.uint8, count=needed)
-    flat_bits = np.unpackbits(raw, bitorder="little", count=count * bits)
-    bit_matrix = flat_bits.reshape(count, bits).astype(np.uint64)
-    weights = np.uint64(1) << np.arange(bits, dtype=np.uint64)
-    return bit_matrix @ weights
+    flat = np.unpackbits(raw, bitorder="little", count=count * bits)
+    matrix = flat.reshape(count, bits).astype(np.uint64)
+    return matrix @ (np.uint64(1) << np.arange(bits, dtype=np.uint64))
+
+
+def _load_words(data, needed: int, n_words: int) -> np.ndarray:
+    """The packed stream as uint64 words (zero-padded past the end)."""
+    padded = np.zeros(n_words * 8, dtype=np.uint8)
+    padded[:needed] = np.frombuffer(data, dtype=np.uint8, count=needed)
+    words = padded.view("<u8")
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        words = words.astype(np.uint64)
+    return words
+
+
+def _unpack_words_gather(data, bits: int, count: int, needed: int,
+                         mask: np.uint64) -> np.ndarray:
+    """Unpack via per-value word gather — a dozen numpy calls total."""
+    n_words = (needed + 7) // 8
+    words = _load_words(data, needed, n_words)
+    bit_start = np.arange(count, dtype=np.uint64) * np.uint64(bits)
+    word = (bit_start >> np.uint64(6)).astype(np.intp)
+    shift = bit_start & np.uint64(63)
+    lo = words[word] >> shift
+    # The straddled second word, shifted into place.  Shift-by-64 is
+    # undefined, so shift == 0 contributes zero; the clamp keeps the
+    # final value's gather in bounds (its contribution is masked off
+    # below whenever the clamp engages, since the value then ends
+    # inside its first word).
+    hi = np.where(shift == np.uint64(0), np.uint64(0),
+                  words[np.minimum(word + 1, n_words - 1)]
+                  << ((np.uint64(64) - shift) & np.uint64(63)))
+    return (lo | hi) & mask
+
+
+def _unpack_words_blocked(data, bits: int, count: int, needed: int,
+                          mask: np.uint64) -> np.ndarray:
+    """Unpack via the 64-value block kernel (see
+    :func:`_pack_words_blocked`): one shift/mask per lane recovers that
+    lane across all blocks at once."""
+    n_blocks = -(-count // _BLOCK)
+    words = _load_words(data, needed, n_blocks * bits)
+    words = words.reshape(n_blocks, bits)
+    values = np.empty((n_blocks, _BLOCK), dtype=np.uint64)
+    for lane in range(_BLOCK):
+        start = lane * bits
+        word, shift = start >> 6, start & 63
+        column = words[:, word] >> np.uint64(shift)
+        if shift + bits > 64:
+            column = column | (words[:, word + 1]
+                               << np.uint64(64 - shift))
+        values[:, lane] = column & mask
+    return values.reshape(-1)[:count]
 
 
 def zigzag_encode(values: np.ndarray) -> np.ndarray:
@@ -122,6 +328,6 @@ def pack_signed(values: np.ndarray) -> tuple[bytes, int]:
     return pack_unsigned(codes, bits), bits
 
 
-def unpack_signed(data: bytes, bits: int, count: int) -> np.ndarray:
+def unpack_signed(data, bits: int, count: int) -> np.ndarray:
     """Inverse of :func:`pack_signed`; returns an int64 array."""
     return zigzag_decode(unpack_unsigned(data, bits, count))

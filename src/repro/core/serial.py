@@ -45,7 +45,10 @@ def unpack_array_header(data: bytes, offset: int = 0
     try:
         (dtype_len,) = _U8.unpack_from(data, offset)
         offset += _U8.size
-        dtype = np.dtype(data[offset:offset + dtype_len].decode("ascii"))
+        # bytes() materializes only the tiny dtype string, so ``data``
+        # may be a memoryview (the codecs' zero-copy read path).
+        dtype = np.dtype(
+            bytes(data[offset:offset + dtype_len]).decode("ascii"))
         offset += dtype_len
         (ndim,) = _U8.unpack_from(data, offset)
         offset += _U8.size

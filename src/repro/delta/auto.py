@@ -30,12 +30,19 @@ class EncodingDecision:
 
     ``delta_codec`` is None when materializing wins; otherwise it names
     the winning delta codec.  ``size`` is the encoded byte count of the
-    winning representation and ``payload`` its bytes.
+    winning representation and ``parts`` its buffers — the sections the
+    encoder produced, carried unjoined so the chunk store can compose
+    the payload exactly once at placement (:attr:`payload` joins them
+    for callers that want one byte string).
     """
 
     delta_codec: str | None
     size: int
-    payload: bytes
+    parts: tuple[bytes, ...]
+
+    @property
+    def payload(self) -> bytes:
+        return b"".join(self.parts)
 
     @property
     def is_delta(self) -> bool:
@@ -66,13 +73,14 @@ def choose_encoding(target: np.ndarray, base: np.ndarray | None,
     compressor = compressor or IdentityCodec()
     materialized = compressor.encode(target)
     best = EncodingDecision(delta_codec=None, size=len(materialized),
-                            payload=materialized)
+                            parts=(materialized,))
     if base is None:
         return best
 
     for codec in candidates or default_delta_candidates():
-        payload = codec.encode(target, base)
-        if len(payload) < best.size:
+        parts = codec.encode_parts(target, base)
+        size = sum(len(part) for part in parts)
+        if size < best.size:
             best = EncodingDecision(delta_codec=codec.name,
-                                    size=len(payload), payload=payload)
+                                    size=size, parts=tuple(parts))
     return best

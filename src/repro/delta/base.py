@@ -64,6 +64,18 @@ class DeltaCodec(ABC):
     def encode(self, target: np.ndarray, base: np.ndarray) -> bytes:
         """Encode ``target`` as a delta against ``base``."""
 
+    def encode_parts(self, target: np.ndarray,
+                     base: np.ndarray) -> list[bytes]:
+        """The encoded delta as a list of buffers.
+
+        Joining the parts yields exactly :meth:`encode`'s byte string.
+        The write pipeline carries the parts form so the final payload
+        is joined once, at placement, instead of once per stage; codecs
+        whose encoders naturally produce sections override this —
+        the default materializes via :meth:`encode`.
+        """
+        return [self.encode(target, base)]
+
     @abstractmethod
     def decode_forward(self, data: bytes, base: np.ndarray) -> np.ndarray:
         """Reconstruct the target given the base it was encoded against."""

@@ -16,6 +16,15 @@ Section III-B.3 then apply to the code array:
 Each strategy has an encoder, a decoder, and a *size estimator* that
 predicts the encoded byte count without materializing it — the estimators
 feed the Materialization Matrix (Section IV-A).
+
+The encoders come in two forms: ``encode_*`` returns one joined byte
+string, and ``encode_*_parts`` returns the list of buffers that byte
+string is made of (headers and packed sections).  The parts form is the
+zero-copy handoff the write pipeline uses — the delta codecs prepend
+their framing parts and the chunk store joins the final payload exactly
+once at placement, so encoded sections are never recopied between
+stages.  The decoders accept any buffer-protocol object and slice it
+through ``memoryview`` (no ``bytes()`` copies on the read path).
 """
 
 from __future__ import annotations
@@ -50,6 +59,11 @@ def codes_to_delta(codes: np.ndarray, mode: str) -> np.ndarray:
     raise CodecError(f"unknown delta mode {mode!r}")
 
 
+def _view(data) -> memoryview:
+    """``data`` as a memoryview so slicing never copies bytes."""
+    return data if isinstance(data, memoryview) else memoryview(data)
+
+
 # ----------------------------------------------------------------------
 # Dense strategy
 # ----------------------------------------------------------------------
@@ -59,15 +73,21 @@ def dense_size(codes: np.ndarray) -> int:
     return 1 + bitpack.packed_size(codes.size, bits)
 
 
+def encode_dense_parts(codes: np.ndarray) -> list[bytes]:
+    """Dense D-bit encoding as its constituent buffers."""
+    bits = bitpack.required_bits_for(codes)
+    return [pack_u8(bits), bitpack.pack_unsigned(codes, bits)]
+
+
 def encode_dense(codes: np.ndarray) -> bytes:
     """Dense D-bit encoding: ``u8 bits`` + packed codes."""
-    bits = bitpack.required_bits_for(codes)
-    return pack_u8(bits) + bitpack.pack_unsigned(codes, bits)
+    return b"".join(encode_dense_parts(codes))
 
 
-def decode_dense(data: bytes, offset: int, count: int
+def decode_dense(data, offset: int, count: int
                  ) -> tuple[np.ndarray, int]:
     """Inverse of :func:`encode_dense`; returns ``(codes, next_offset)``."""
+    data = _view(data)
     bits, offset = unpack_u8(data, offset)
     packed_len = bitpack.packed_size(count, bits)
     codes = bitpack.unpack_unsigned(
@@ -79,36 +99,47 @@ def decode_dense(data: bytes, offset: int, count: int
 # Sparse strategy
 # ----------------------------------------------------------------------
 def sparse_size(codes: np.ndarray) -> int:
-    """Encoded bytes of the sparse strategy without materializing it."""
+    """Encoded bytes of the sparse strategy without materializing it.
+
+    Codes are unsigned, so when any is nonzero the array maximum *is*
+    the nonzero maximum — no re-masking pass over the array.
+    """
     nonzero = int(np.count_nonzero(codes))
     position_bits = bitpack.required_bits(max(0, codes.size - 1))
-    if nonzero:
-        value_bits = bitpack.required_bits(int(codes[codes != 0].max()))
-    else:
-        value_bits = 0
+    value_bits = bitpack.required_bits(int(codes.max())) if nonzero else 0
     return (8 + 1 + 1
             + bitpack.packed_size(nonzero, position_bits)
             + bitpack.packed_size(nonzero, value_bits))
 
 
-def encode_sparse(codes: np.ndarray) -> bytes:
-    """Sparse encoding: nonzero (position, code) pairs, both bit-packed."""
-    positions = np.flatnonzero(codes).astype(np.uint64)
-    values = codes[positions.astype(np.int64)]
+def encode_sparse_parts(codes: np.ndarray) -> list[bytes]:
+    """Sparse encoding as its constituent buffers.
+
+    One :func:`np.flatnonzero` pass yields the positions, which gather
+    the values directly (no uint64/int64 index round trip).
+    """
+    positions = np.flatnonzero(codes)
+    values = codes[positions]
     position_bits = bitpack.required_bits(max(0, codes.size - 1))
     value_bits = bitpack.required_bits_for(values)
-    return b"".join([
+    return [
         pack_i64(len(positions)),
         pack_u8(position_bits),
         pack_u8(value_bits),
         bitpack.pack_unsigned(positions, position_bits),
         bitpack.pack_unsigned(values, value_bits),
-    ])
+    ]
 
 
-def decode_sparse(data: bytes, offset: int, count: int
+def encode_sparse(codes: np.ndarray) -> bytes:
+    """Sparse encoding: nonzero (position, code) pairs, both bit-packed."""
+    return b"".join(encode_sparse_parts(codes))
+
+
+def decode_sparse(data, offset: int, count: int
                   ) -> tuple[np.ndarray, int]:
     """Inverse of :func:`encode_sparse`."""
+    data = _view(data)
     nonzero, offset = unpack_i64(data, offset)
     position_bits, offset = unpack_u8(data, offset)
     value_bits, offset = unpack_u8(data, offset)
@@ -174,8 +205,8 @@ def hybrid_split_width(codes: np.ndarray) -> int:
     return int(widths[int(np.argmin(costs))])
 
 
-def encode_hybrid(codes: np.ndarray) -> bytes:
-    """Optimal small/large split encoding (Section III-B.3)."""
+def encode_hybrid_parts(codes: np.ndarray) -> list[bytes]:
+    """Optimal small/large split encoding as its constituent buffers."""
     n = codes.size
     widths, costs, value_bits = _split_costs(codes)
     small_bits = int(widths[int(np.argmin(costs))]) if n else 0
@@ -189,11 +220,13 @@ def encode_hybrid(codes: np.ndarray) -> bytes:
         is_outlier = np.zeros(0, dtype=bool)
 
     small = np.where(is_outlier, np.uint64(0), codes)
-    positions = np.flatnonzero(is_outlier).astype(np.uint64)
-    values = codes[is_outlier.nonzero()]
+    # One nonzero pass over the outlier mask: the positions index the
+    # outlier values directly.
+    positions = np.flatnonzero(is_outlier)
+    values = codes[positions]
     position_bits = bitpack.required_bits(max(0, n - 1))
     out_value_bits = bitpack.required_bits_for(values)
-    return b"".join([
+    return [
         pack_u8(small_bits),
         bitpack.pack_unsigned(small, small_bits),
         pack_i64(len(positions)),
@@ -201,12 +234,18 @@ def encode_hybrid(codes: np.ndarray) -> bytes:
         pack_u8(out_value_bits),
         bitpack.pack_unsigned(positions, position_bits),
         bitpack.pack_unsigned(values, out_value_bits),
-    ])
+    ]
 
 
-def decode_hybrid(data: bytes, offset: int, count: int
+def encode_hybrid(codes: np.ndarray) -> bytes:
+    """Optimal small/large split encoding (Section III-B.3)."""
+    return b"".join(encode_hybrid_parts(codes))
+
+
+def decode_hybrid(data, offset: int, count: int
                   ) -> tuple[np.ndarray, int]:
     """Inverse of :func:`encode_hybrid`."""
+    data = _view(data)
     small_bits, offset = unpack_u8(data, offset)
     small_len = bitpack.packed_size(count, small_bits)
     codes = bitpack.unpack_unsigned(

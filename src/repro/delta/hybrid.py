@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.compression.lz import lz_bytes, unlz_bytes
 from repro.core import numeric
+from repro.core.errors import CodecError
 from repro.core.serial import pack_u8, unpack_u8
 from repro.delta import codes as code_store
 from repro.delta.base import DeltaCodec
@@ -33,13 +34,19 @@ class HybridDeltaCodec(DeltaCodec):
             self.name = "hybrid+lz"
 
     # ------------------------------------------------------------------
-    def encode(self, target: np.ndarray, base: np.ndarray) -> bytes:
+    def encode_parts(self, target: np.ndarray,
+                     base: np.ndarray) -> list[bytes]:
         delta, mode = numeric.compute_delta(target, base)
         codes = code_store.delta_to_codes(delta, mode)
-        payload = code_store.encode_hybrid(codes)
+        parts = code_store.encode_hybrid_parts(codes)
         if self.lz:
-            payload = lz_bytes(payload)
-        return self._frame(target, mode) + pack_u8(int(self.lz)) + payload
+            # The LZ stage consumes one contiguous buffer, so it joins
+            # here; the un-compressed path hands its sections through.
+            parts = [lz_bytes(b"".join(parts))]
+        return [self._frame(target, mode), pack_u8(int(self.lz)), *parts]
+
+    def encode(self, target: np.ndarray, base: np.ndarray) -> bytes:
+        return b"".join(self.encode_parts(target, base))
 
     def decode_forward(self, data: bytes, base: np.ndarray) -> np.ndarray:
         delta, mode, dtype, shape = self._decode_delta(data)
@@ -63,12 +70,19 @@ class HybridDeltaCodec(DeltaCodec):
 
     # ------------------------------------------------------------------
     def _decode_delta(self, data: bytes):
+        data = memoryview(data)
         dtype, shape, mode, offset = self._unframe(data)
         lz_flag, offset = unpack_u8(data, offset)
+        # A memoryview slice, not a bytes copy — the packed sections
+        # are unpacked straight out of the stored payload.
         payload = data[offset:]
         if lz_flag:
             payload = unlz_bytes(payload)
         count = int(np.prod(shape)) if shape else 1
-        codes, _ = code_store.decode_hybrid(payload, 0, count)
+        codes, end = code_store.decode_hybrid(payload, 0, count)
+        if end != len(payload):
+            raise CodecError(
+                f"hybrid delta payload has {len(payload) - end} "
+                "undecoded trailing bytes")
         delta = code_store.codes_to_delta(codes, mode)
         return delta, mode, dtype, shape

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import numeric
+from repro.core.errors import CodecError
 from repro.delta import codes as code_store
 from repro.delta.base import DeltaCodec
 
@@ -21,22 +22,35 @@ class SparseDeltaCodec(DeltaCodec):
     name = "sparse"
     bidirectional = True
 
-    def encode(self, target: np.ndarray, base: np.ndarray) -> bytes:
+    def encode_parts(self, target: np.ndarray,
+                     base: np.ndarray) -> list[bytes]:
         delta, mode = numeric.compute_delta(target, base)
         codes = code_store.delta_to_codes(delta, mode)
-        return self._frame(target, mode) + code_store.encode_sparse(codes)
+        return [self._frame(target, mode),
+                *code_store.encode_sparse_parts(codes)]
 
-    def decode_forward(self, data: bytes, base: np.ndarray) -> np.ndarray:
+    def encode(self, target: np.ndarray, base: np.ndarray) -> bytes:
+        return b"".join(self.encode_parts(target, base))
+
+    def _decode_codes(self, data) -> tuple[np.ndarray, str, np.dtype,
+                                           tuple[int, ...]]:
+        data = memoryview(data)
         dtype, shape, mode, offset = self._unframe(data)
         count = int(np.prod(shape)) if shape else 1
-        codes, _ = code_store.decode_sparse(data, offset, count)
+        codes, end = code_store.decode_sparse(data, offset, count)
+        if end != len(data):
+            raise CodecError(
+                f"sparse delta payload has {len(data) - end} undecoded "
+                "trailing bytes")
+        return codes, mode, dtype, shape
+
+    def decode_forward(self, data: bytes, base: np.ndarray) -> np.ndarray:
+        codes, mode, dtype, shape = self._decode_codes(data)
         delta = code_store.codes_to_delta(codes, mode).reshape(shape)
         return numeric.apply_delta_forward(base, delta, mode, dtype)
 
     def decode_backward(self, data: bytes, target: np.ndarray) -> np.ndarray:
-        dtype, shape, mode, offset = self._unframe(data)
-        count = int(np.prod(shape)) if shape else 1
-        codes, _ = code_store.decode_sparse(data, offset, count)
+        codes, mode, dtype, shape = self._decode_codes(data)
         delta = code_store.codes_to_delta(codes, mode).reshape(shape)
         return numeric.apply_delta_backward(target, delta, mode, dtype)
 

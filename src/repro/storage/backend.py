@@ -106,6 +106,15 @@ class StorageBackend(ABC):
     #: fan independent requests concurrently — rather than minimize
     #: bytes moved.  Local and in-memory substrates leave this False.
     high_latency: bool = False
+    #: True when the backend's observable behaviour depends on the
+    #: *order* its write-side operations arrive in, so callers must not
+    #: issue writes to distinct objects concurrently.  All production
+    #: backends leave this False — within one version every chunk
+    #: targets a distinct object, so the commit stage may fan
+    #: placements freely.  The fault-injecting wrapper sets it: its
+    #: seeded schedule counts operations, and a concurrent fan would
+    #: make which placement draws fault #N racy instead of replayable.
+    serial_writes: bool = False
 
     def bind_stats(self, stats: "IOStats") -> None:
         """Attach an :class:`IOStats` sink for backend-level counters.
@@ -509,6 +518,10 @@ class StripedBackend(StorageBackend):
         # from the slow child, so callers must batch as if every
         # request could land there.
         self.high_latency = any(child.high_latency for child in children)
+        # One order-sensitive stripe serializes the composite's write
+        # path: the routing hash decides which child sees a write, so
+        # any concurrent fan could reorder that child's operations.
+        self.serial_writes = any(child.serial_writes for child in children)
 
     def bind_stats(self, stats: "IOStats") -> None:
         for child in self.children:
@@ -887,6 +900,11 @@ class FaultInjectingBackend(StorageBackend):
     """
 
     name = "faulty"
+    #: The seeded schedule assigns faults to operation *indices*, so
+    #: which placement draws fault #N must not depend on a concurrent
+    #: fan's thread interleaving — the commit stage keeps this
+    #: backend's write path serial.
+    serial_writes = True
 
     def __init__(self, inner: StorageBackend, seed: int = 0,
                  schedule: "dict[str, frozenset[int]] | None" = None):

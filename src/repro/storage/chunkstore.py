@@ -75,7 +75,21 @@ class ChunkStore:
         # span pools so an outer per-path task never waits on an inner
         # span task queued to the same saturated pool.
         self._path_executor: ThreadPoolExecutor | None = None
+        # Write-side placement fan-out (see placement_pool); its own
+        # executor so commit-stage placements never queue behind read
+        # traffic.
+        self._placement_executor: ThreadPoolExecutor | None = None
         self._path_lock = threading.Lock()
+
+    @property
+    def concurrent_placement_ok(self) -> bool:
+        """Whether the commit stage may fan placements concurrently.
+
+        Within one version every chunk targets a distinct object, so
+        placement order is only observable on backends that declare
+        ``serial_writes`` (the fault injector's seeded op counting).
+        """
+        return not self.backend.serial_writes
 
     def _chunk_path(self, array: str, version: int, attribute: str,
                     chunk_name: str) -> str:
@@ -87,8 +101,15 @@ class ChunkStore:
     # Writing
     # ------------------------------------------------------------------
     def write_chunk(self, array: str, version: int, attribute: str,
-                    chunk_name: str, payload: bytes) -> ChunkLocation:
-        """Persist one encoded chunk payload; returns its location."""
+                    chunk_name: str, payload) -> ChunkLocation:
+        """Persist one encoded chunk payload; returns its location.
+
+        ``payload`` is either one byte string or a sequence of buffer
+        parts — the encode pipeline hands the parts straight through,
+        so the payload is composed exactly once, here at placement.
+        """
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            payload = b"".join(payload)
         path = self._chunk_path(array, version, attribute, chunk_name)
         if self.placement == PER_VERSION:
             self.backend.write(path, payload)
@@ -197,6 +218,21 @@ class ChunkStore:
                     thread_name_prefix="repro-store-path")
             return self._path_executor
 
+    def placement_pool(self, degree: int) -> ThreadPoolExecutor:
+        """The commit stage's write-side placement executor.
+
+        Lazily created and sized at first use (at least 2 — a degree
+        of 1 never reaches here); shut down with the store.  Separate
+        from the read-side pools so a placement fan never waits behind
+        a saturated chain read, and vice versa.
+        """
+        with self._path_lock:
+            if self._placement_executor is None:
+                self._placement_executor = ThreadPoolExecutor(
+                    max_workers=max(degree, 2),
+                    thread_name_prefix="repro-store-place")
+            return self._placement_executor
+
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
@@ -247,10 +283,13 @@ class ChunkStore:
         return self.backend.total_bytes(array or "")
 
     def close(self) -> None:
-        """Shut down the per-object request executor and the backend
-        (idempotent; a later read simply recreates the pool)."""
+        """Shut down the store's executors and the backend (idempotent;
+        a later read or placement simply recreates its pool)."""
         with self._path_lock:
-            pool, self._path_executor = self._path_executor, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+            pools = [self._path_executor, self._placement_executor]
+            self._path_executor = None
+            self._placement_executor = None
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=True)
         self.backend.close()

@@ -30,9 +30,11 @@ pipeline's per-chunk fan-out) and parallel chunk encodes (the encode
 pipeline's write-side fan-out) hammer one shared instance from many
 threads, and benchmark invariants like "file opens stay constant in
 chain depth" or "one encode task per chunk" only hold if no increment
-is ever lost.  The write side is covered by three counters:
+is ever lost.  The write side is covered by four counters:
 ``encode_tasks`` (delta+compress units executed by the encode stage),
-``chunks_written``, and ``bytes_written`` (placements that follow).
+``chunks_written`` and ``bytes_written`` (placements that follow), and
+``concurrent_placements`` (placements dispatched through the commit
+stage's concurrent fan instead of the serial loop).
 
 The cluster coordinator adds replication accounting on its own stats
 instance: ``replica_writes`` counts redundant version copies landed on
@@ -60,6 +62,7 @@ class IOStats:
     chunks_read: int = 0
     chunks_written: int = 0
     encode_tasks: int = 0
+    concurrent_placements: int = 0
     file_opens: int = 0
     ranged_gets: int = 0
     bytes_over_fetched: int = 0
@@ -95,6 +98,15 @@ class IOStats:
         read-side counters."""
         with self._lock:
             self.encode_tasks += 1
+
+    def record_concurrent_placement(self) -> None:
+        """Account one chunk placement dispatched through the commit
+        stage's concurrent fan (rather than the serial loop).  The
+        counter makes the fan observable — a bench cell claiming
+        parallel commit must show it nonzero, and the chaos suite's
+        fault-injecting backend must show it zero."""
+        with self._lock:
+            self.concurrent_placements += 1
 
     def record_open(self, count: int = 1) -> None:
         """Account ``count`` logical object opens (distinct objects

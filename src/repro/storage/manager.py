@@ -116,6 +116,14 @@ class VersionedStorageManager:
                                       cache=self.cache,
                                       workers=self.workers,
                                       prefetch=prefetch)
+        # Write-side hot-version slot: the last version this manager
+        # wrote, kept so a chain-policy insert deltas against the data
+        # it was just handed instead of re-reconstructing the parent
+        # through its whole delta chain (O(depth) reads per insert).
+        # Safe because ArrayData is immutable and version contents
+        # never change once written; deletion invalidates the slot
+        # since a deleted head's number can be reused.
+        self._hot_version: tuple[str, int, ArrayData] | None = None
 
     @property
     def backend(self) -> StorageBackend:
@@ -192,6 +200,8 @@ class VersionedStorageManager:
         """Drop an array, its versions, and its stored bytes."""
         record = self.catalog.get_array(name)  # existence check
         self.cache.invalidate_array(record.array_id)
+        if self._hot_version is not None and self._hot_version[0] == name:
+            self._hot_version = None
         self.catalog.delete_array(name)
         self.store.delete_array(name)
 
@@ -347,6 +357,11 @@ class VersionedStorageManager:
         self.catalog.reparent_versions(record.array_id, version,
                                        deleted_parent)
         self.store.delete_version_files(name, version)
+        # The re-encode loop above repopulates the hot slot with live
+        # contents, but a deleted head's version number can be reused
+        # by the next insert — drop the slot for this array outright.
+        if self._hot_version is not None and self._hot_version[0] == name:
+            self._hot_version = None
         if reclaim:
             self._repack(record)
 
@@ -603,13 +618,19 @@ class VersionedStorageManager:
         encode pipeline for one version."""
         base_data: ArrayData | None = None
         if base_version is not None and self.encoder.wants_base:
-            base_data = self.select(record.name, base_version)
+            hot = self._hot_version
+            if hot is not None and hot[0] == record.name \
+                    and hot[1] == base_version:
+                base_data = hot[2]
+            else:
+                base_data = self.select(record.name, base_version)
         self.encoder.write_version(record, self.grid_for(record), version,
                                    data, base_data=base_data,
                                    base_version=base_version,
                                    replace=replace, workers=workers,
                                    version_row=version_row,
                                    merge_parents=merge_parents)
+        self._hot_version = (record.name, version, data)
 
     def _reconstruct_chunk(self, record: ArrayRecord, version: int,
                            attribute: str, chunk: ChunkRef,

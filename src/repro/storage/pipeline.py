@@ -271,10 +271,12 @@ class EncodePipeline(_PooledStage):
     CPU-bound and independent per chunk, so the encode stage fans tasks
     across a shared thread-pool executor when ``workers`` > 1 — the
     write-side mirror of :class:`DecodePipeline`'s per-chunk fan-out.
-    Placement stays ordered: the commit stage collects encoding
-    decisions in task order and appends payloads in that same order, so
-    co-located append offsets — and therefore every stored byte and
-    catalog row — are identical for any worker count.
+    The commit stage fans too: within a version every chunk targets a
+    distinct object, so placements run concurrently on the store's
+    placement executor (unless the backend demands serial writes),
+    while catalog rows are still gathered in task order — co-located
+    append offsets, every stored byte, and every catalog row are
+    identical for any worker count.
     """
 
     _pool_prefix = "repro-encode"
@@ -382,6 +384,69 @@ class EncodePipeline(_PooledStage):
     # ------------------------------------------------------------------
     # Stage 3: commit
     # ------------------------------------------------------------------
+    def _place_tasks(self, record: ArrayRecord, version: int,
+                     tasks: list[EncodeTask], data: ArrayData,
+                     base_data: ArrayData | None,
+                     base_version: int | None, compressor,
+                     degree: int):
+        """Encode and place every task, yielding :class:`ChunkRecord`
+        rows in task order.
+
+        Within one version every chunk targets a distinct object, so
+        placements are order-free and — when ``degree`` > 1 and the
+        backend does not demand serial writes — fan across the store's
+        placement executor while later chunks are still encoding.  A
+        bounded FIFO window keeps the encoded payloads in flight
+        proportional to the degree, results are gathered in submission
+        order, and the caller drains the generator before the
+        durability barrier — so catalog rows, co-located append
+        offsets, and every stored byte are identical to the serial
+        loop's.  The only ordering the fan gives up is *between*
+        distinct objects, which nothing observes; per-object order is
+        preserved because one version writes each object exactly once
+        and versions are committed one at a time.
+        """
+        decisions = zip(tasks, self._encode_tasks(tasks, data, base_data,
+                                                  compressor, degree))
+
+        def chunk_record(task: EncodeTask, decision: EncodingDecision,
+                         location) -> ChunkRecord:
+            return ChunkRecord(
+                array_id=record.array_id,
+                version=version,
+                attribute=task.attribute,
+                chunk_name=task.chunk.name,
+                delta_codec=decision.delta_codec,
+                base_version=base_version if decision.is_delta
+                else None,
+                compressor=record.compressor,
+                location=location,
+            )
+
+        if degree > 1 and len(tasks) > 1 and \
+                self.store.concurrent_placement_ok:
+            pool = self.store.placement_pool(degree)
+            window: deque = deque()
+            for task, decision in decisions:
+                while len(window) >= degree * 2:
+                    task_done, decision_done, future = window.popleft()
+                    yield chunk_record(task_done, decision_done,
+                                       future.result())
+                self.store.stats.record_concurrent_placement()
+                window.append((task, decision, pool.submit(
+                    self.store.write_chunk, record.name, version,
+                    task.attribute, task.chunk.name, decision.parts)))
+            while window:
+                task_done, decision_done, future = window.popleft()
+                yield chunk_record(task_done, decision_done,
+                                   future.result())
+        else:
+            for task, decision in decisions:
+                location = self.store.write_chunk(
+                    record.name, version, task.attribute,
+                    task.chunk.name, decision.parts)
+                yield chunk_record(task, decision, location)
+
     def write_version(self, record: ArrayRecord, grid: ChunkGrid,
                       version: int, data: ArrayData, *,
                       base_data: ArrayData | None,
@@ -417,24 +482,9 @@ class EncodePipeline(_PooledStage):
         compressor = get_codec(record.compressor)
         degree = self._effective_workers(workers)
         tasks = self.plan_version(record, grid)
-        records: list[ChunkRecord] = []
-        for task, decision in zip(
-                tasks, self._encode_tasks(tasks, data, base_data,
-                                          compressor, degree)):
-            location = self.store.write_chunk(
-                record.name, version, task.attribute, task.chunk.name,
-                decision.payload)
-            records.append(ChunkRecord(
-                array_id=record.array_id,
-                version=version,
-                attribute=task.attribute,
-                chunk_name=task.chunk.name,
-                delta_codec=decision.delta_codec,
-                base_version=base_version if decision.is_delta
-                else None,
-                compressor=record.compressor,
-                location=location,
-            ))
+        records = list(self._place_tasks(record, version, tasks, data,
+                                         base_data, base_version,
+                                         compressor, degree))
         # Durability barrier, then the transaction: the catalog must
         # never name bytes that would not survive a crash.  On the
         # object backend the same call is the finalize barrier that

@@ -93,7 +93,8 @@ class TestCheckArtifact:
         from pathlib import Path
 
         root = Path(__file__).resolve().parents[2]
-        for name in ("BENCH_fig2.json", "BENCH_ingest.json"):
+        for name in ("BENCH_fig2.json", "BENCH_ingest.json",
+                     "BENCH_codec.json"):
             artifact = root / name
             if not artifact.exists():
                 pytest.skip(f"{name} not present")

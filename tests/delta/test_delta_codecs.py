@@ -240,3 +240,46 @@ def test_roundtrip_property(data, codec_name):
     blob = codec.encode(target, base)
     assert codec.decode_forward(blob, base).tobytes() == target.tobytes()
     assert codec.decode_backward(blob, target).tobytes() == base.tobytes()
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+class TestEncodeParts:
+    """encode_parts is the zero-copy contract: the joined parts must be
+    the exact bytes encode() produces, so the chunk store can defer the
+    join to placement without moving a single stored byte."""
+
+    @pytest.mark.parametrize("dtype", [np.int64, np.float32], ids=str)
+    def test_parts_join_to_encode(self, codec, dtype, rng):
+        target, base = _pair(dtype, (24, 32), rng)
+        parts = codec.encode_parts(target, base)
+        assert isinstance(parts, list)
+        assert b"".join(parts) == codec.encode(target, base)
+
+    def test_parts_sizes_sum(self, codec, rng):
+        target, base = _pair(np.int64, (16, 16), rng)
+        parts = codec.encode_parts(target, base)
+        assert sum(len(part) for part in parts) == \
+            len(codec.encode(target, base))
+
+
+@pytest.mark.parametrize("codec", [DenseDeltaCodec(), SparseDeltaCodec(),
+                                   HybridDeltaCodec(),
+                                   HybridDeltaCodec(lz=True)],
+                         ids=lambda c: c.name)
+class TestStrictDecode:
+    """Decoders consume exactly the payload they are handed — trailing
+    garbage means a placement/addressing bug and must surface, not be
+    silently ignored."""
+
+    def test_trailing_bytes_rejected(self, codec, rng):
+        target, base = _pair(np.int64, (16, 16), rng)
+        blob = codec.encode(target, base)
+        with pytest.raises(CodecError, match="trailing"):
+            codec.decode_forward(blob + b"\x00", base)
+
+    def test_memoryview_payload_accepted(self, codec, rng):
+        """The read path hands zero-copy views, never joined copies."""
+        target, base = _pair(np.int64, (16, 16), rng)
+        blob = codec.encode(target, base)
+        out = codec.decode_forward(memoryview(blob), base)
+        np.testing.assert_array_equal(out, target)

@@ -119,6 +119,48 @@ class TestParallelWriteConformance:
         manager.close()
 
 
+class TestConcurrentPlacement:
+    """The commit stage's placement fan must be observable in IOStats
+    and must stand down for order-sensitive backends."""
+
+    @pytest.mark.parametrize("backend", ("local", "memory"))
+    def test_fan_engages_at_parallel_degree(self, tmp_path, backend):
+        manager = VersionedStorageManager(tmp_path, chunk_bytes=800,
+                                          backend=backend,
+                                          delta_policy="chain", workers=4)
+        _fill(manager)
+        assert manager.stats.concurrent_placements > 0
+        # Every concurrently dispatched placement is still exactly one
+        # chunk write — the fan changes scheduling, not accounting.
+        assert manager.stats.concurrent_placements <= \
+            manager.stats.chunks_written
+        manager.close()
+
+    def test_serial_degree_never_fans(self, tmp_path):
+        manager = VersionedStorageManager(tmp_path, chunk_bytes=800,
+                                          delta_policy="chain", workers=1)
+        _fill(manager)
+        assert manager.stats.concurrent_placements == 0
+        manager.close()
+
+    def test_fault_injecting_backend_stays_serial(self, tmp_path):
+        """The chaos backend's seeded schedule counts operation indices,
+        so placements must reach it in deterministic order even when the
+        manager is configured for parallel writes."""
+        from repro.storage.backend import (FaultInjectingBackend,
+                                           InMemoryBackend)
+        backend = FaultInjectingBackend(InMemoryBackend(), schedule={})
+        assert backend.serial_writes
+        manager = VersionedStorageManager(tmp_path, backend=backend,
+                                          chunk_bytes=800,
+                                          delta_policy="chain", workers=4)
+        _fill(manager)
+        assert manager.stats.concurrent_placements == 0
+        # The encode stage still fans — only placement order is pinned.
+        assert manager.stats.encode_tasks > 0
+        manager.close()
+
+
 class TestMidEncodeFailure:
     @pytest.mark.parametrize("degree", (0, 4))
     def test_zero_rows_no_version_warm_cache(self, tmp_path, degree):
