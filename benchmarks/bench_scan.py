@@ -1,0 +1,65 @@
+"""Experiment S1 — deep-chain scan throughput, fused vs stepwise.
+
+The sweep reads the same seeded store down both decode paths per
+(depth, codec, backend) cell.  ``run()`` itself asserts the two paths
+return byte-identical arrays before recording either row; this wrapper
+gates the structural claims — which cells fused, how many levels
+scattered — and the headline perf claim: at depth 8 the sparse and
+hybrid codecs, whose levels compose by O(nnz) scatter instead of k
+full-canvas applies, must beat the stepwise path outright.  The
+committed ``BENCH_scan.json`` records >=3x on the reference host; the
+in-CI floor is looser because shared runners are noisy, but a fused
+path *slower* than stepwise on its best-case cells is a regression
+everywhere.  Fingerprints are frozen by the regression gate against
+the committed artifact.
+"""
+
+from repro.bench import scan
+
+#: Local files plus the S3-style object store — the committed artifact
+#: must cover both, so the wrapper pins the axis (the module default is
+#: local-only for quick interactive runs).
+BACKENDS = ("local", "object")
+
+
+def bench_scan_throughput(run_once):
+    rows = run_once(scan.run, backends=BACKENDS,
+                    json_path="BENCH_scan.json")
+
+    assert len(rows) == (len(scan.DEFAULT_DEPTHS)
+                         * len(scan.DEFAULT_CODECS)
+                         * len(BACKENDS) * 2)
+    by_cell = {}
+    for row in rows:
+        assert len(row["fingerprint"]) == 64
+        assert row["mb_per_sec"] > 0
+        key = (row["backend"], row["delta_codec"], row["chain_depth"])
+        by_cell.setdefault(key, {})[row["fuse"]] = row
+
+    for key, pair in by_cell.items():
+        backend, codec, depth = key
+        stepwise, fused = pair[0], pair[1]
+        # One store per cell: the knob may never change stored bytes.
+        assert stepwise["fingerprint"] == fused["fingerprint"]
+        # Stepwise never fuses; the fused pass fuses exactly the
+        # depth's chain (depth 2 = one delta level = nothing to fold).
+        assert stepwise["chains_fused"] == 0
+        if depth >= 2 and depth - 1 >= 2:
+            assert fused["chains_fused"] == 1
+            assert fused["fused_levels"] == depth - 1
+            if codec in ("sparse", "hybrid"):
+                assert fused["scatter_levels"] == depth - 1
+            else:
+                assert fused["scatter_levels"] == 0
+        else:
+            assert fused["chains_fused"] == 0
+
+    # The headline: deep sparse/hybrid chains read much faster fused
+    # (committed artifact: >=3x; CI floor looser for noisy runners).
+    for codec in ("sparse", "hybrid"):
+        for (backend, row_codec, depth), pair in by_cell.items():
+            if row_codec == codec and depth >= 8:
+                speedup = pair[1]["mb_per_sec"] / pair[0]["mb_per_sec"]
+                assert speedup > 1.5, \
+                    f"fused {codec} depth-{depth} scan only " \
+                    f"{speedup:.2f}x over stepwise on {backend}"

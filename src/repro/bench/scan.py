@@ -1,0 +1,173 @@
+"""Read-throughput scan — fused vs stepwise delta-chain decode.
+
+Deep delta chains are where Section III's chain policy pays its read
+amplification: a depth-*k* select must decode *k* delta levels on top
+of the materialized root.  The stepwise path applies each level to a
+full-size intermediate (*k* array-sized applies); the fused path folds
+every composable level into one accumulator — dense levels by a
+vectorized ``out=`` add/xor, sparse and hybrid levels by an O(nnz)
+scatter — and applies it to the root exactly once.
+
+This experiment measures what that buys on multi-MB chunks (the
+1M-value cells also route the D-bit unpack through the transposed
+block kernel).  The grid is ``chain_depth`` x ``delta_codec`` x
+``backend`` x ``fuse`` and each cell reports:
+
+* ``mb_per_sec`` / ``select_seconds`` — logical version bytes over the
+  deep select's wall clock (min-of-N, volatile columns);
+* ``chains_fused`` / ``fused_levels`` / ``scatter_levels`` — the
+  :class:`IOStats` fused-read counters for one deep select, identity
+  columns pinning which decode path the cell actually ran;
+* ``fingerprint`` — the store's SHA-256, byte-identical between the
+  ``fuse=0`` and ``fuse=1`` rows of one (depth, codec, backend) store
+  *by construction* (both rows read the same store; the knob is
+  read-only) and stable across runs for the regression gate.
+
+Both fuse settings read the *same* store — the bench toggles
+``manager.decoder.fuse_chains`` between timed passes — so any
+throughput difference is purely the decode path.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import backend_axis, print_table, timed
+from repro.core.schema import ArraySchema
+from repro.storage import VersionedStorageManager
+
+ARRAY = "scan"
+#: 1024x1024 int64 = 8 MiB per version; with an 8 MiB chunk budget the
+#: array is a single 1M-value chunk, past the transposed-unpack
+#: threshold (``bitpack._TRANSPOSE_THRESHOLD`` = 1<<20).
+SHAPE = (1024, 1024)
+CHUNK_BYTES = 8 << 20
+DEFAULT_DEPTHS = (2, 8)
+DEFAULT_CODECS = ("dense", "sparse", "hybrid")
+
+
+def _versions(depth: int, rng: np.random.Generator) -> list[np.ndarray]:
+    """One root plus ``depth - 1`` sparse mutations (~1% of cells
+    bumped by up to 2^20, so per-level codes stay ~21 bits wide and the
+    chain policy keeps every level a delta)."""
+    cur = rng.integers(0, 1 << 20, SHAPE, dtype=np.int64)
+    out = [cur]
+    cells = SHAPE[0] * SHAPE[1]
+    for _ in range(depth - 1):
+        cur = cur.copy()
+        picks = rng.choice(cells, cells // 100, replace=False)
+        flat = cur.reshape(-1)
+        flat[picks] += rng.integers(1, 1 << 20, picks.size)
+        out.append(cur)
+    return out
+
+
+def _build(root: Path, codec: str, versions: list[np.ndarray],
+           backend: str) -> VersionedStorageManager:
+    manager = VersionedStorageManager(root, chunk_bytes=CHUNK_BYTES,
+                                      compressor="none",
+                                      delta_codec=codec,
+                                      delta_policy="chain",
+                                      backend=backend)
+    manager.create_array(ARRAY, ArraySchema.simple(SHAPE,
+                                                   dtype=np.int64))
+    for data in versions:
+        manager.insert(ARRAY, data)
+    return manager
+
+
+def _time_select(manager: VersionedStorageManager, depth: int,
+                 repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        with timed() as clock:
+            manager.select(ARRAY, depth)
+        best = min(best, clock.seconds)
+    return best
+
+
+def run(depths=DEFAULT_DEPTHS, codecs=DEFAULT_CODECS, *,
+        backends=None, repeats: int = 3,
+        workdir: str | None = None,
+        json_path: str | Path | None = None,
+        quiet: bool = False) -> list[dict]:
+    """Measure deep-select throughput across the scan grid.
+
+    Each (depth, codec, backend) cell builds one store, then times the
+    deepest select under both decode paths, asserting byte-identical
+    results before recording either row.
+    """
+    rows = []
+    logical_mb = (SHAPE[0] * SHAPE[1] * 8) / 1e6
+    with tempfile.TemporaryDirectory(dir=workdir) as scratch:
+        for backend in backend_axis(backends):
+            for codec in codecs:
+                rng = np.random.default_rng(2012)
+                for depth in depths:
+                    root = Path(scratch) / backend / codec / str(depth)
+                    versions = _versions(depth, rng)
+                    manager = _build(root, codec, versions, backend)
+                    fingerprint = manager.fingerprint(ARRAY)
+                    results = {}
+                    for fuse in (0, 1):
+                        manager.decoder.fuse_chains = bool(fuse)
+                        got = manager.select(ARRAY, depth)
+                        results[fuse] = got.attribute("value").tobytes()
+                        with manager.stats.measure() as window:
+                            manager.select(ARRAY, depth)
+                        seconds = _time_select(manager, depth, repeats)
+                        rows.append({
+                            "backend": backend,
+                            "delta_codec": codec,
+                            "chain_depth": depth,
+                            "fuse": fuse,
+                            "chains_fused": window.chains_fused,
+                            "fused_levels": window.fused_levels,
+                            "scatter_levels": window.scatter_levels,
+                            "select_seconds": seconds,
+                            "mb_per_sec": logical_mb / seconds,
+                            "fingerprint": fingerprint,
+                        })
+                    if results[0] != results[1]:
+                        raise AssertionError(
+                            f"fused select diverged from stepwise at "
+                            f"backend={backend} codec={codec} "
+                            f"depth={depth}")
+                    expected = np.ascontiguousarray(versions[-1])
+                    if results[1] != expected.tobytes():
+                        raise AssertionError(
+                            f"select returned wrong bytes at "
+                            f"backend={backend} codec={codec} "
+                            f"depth={depth}")
+                    manager.close()
+
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(rows, indent=2))
+    if not quiet:
+        speedups = {}
+        for row in rows:
+            key = (row["backend"], row["delta_codec"],
+                   row["chain_depth"])
+            speedups.setdefault(key, {})[row["fuse"]] = \
+                row["mb_per_sec"]
+        print_table(
+            "Scan throughput: deep-chain select, fused vs stepwise"
+            " decode (byte-identical results; one store per cell)",
+            ["Backend", "Codec", "Depth", "Fuse", "MB/s",
+             "Scatter Lvls", "Speedup"],
+            [[row["backend"], row["delta_codec"],
+              str(row["chain_depth"]), str(row["fuse"]),
+              f"{row['mb_per_sec']:.0f}",
+              str(row["scatter_levels"]),
+              (f"{row['mb_per_sec'] / speedups[(row['backend'], row['delta_codec'], row['chain_depth'])][0]:.1f}x"
+               if row["fuse"] else "1.0x")]
+             for row in rows])
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run(backends=("local", "object"), json_path="BENCH_scan.json")

@@ -57,7 +57,7 @@ from repro.core.schema import ArraySchema, Attribute, Dimension
 from repro.storage.backend import StorageBackend
 from repro.storage.iostats import IOStats
 from repro.storage.manager import VersionedStorageManager
-from repro.storage.pipeline import resolve_workers
+from repro.storage.pipeline import resolve_fuse, resolve_workers
 
 #: How many times a compensating undo (delete of a landed version or
 #: array) is retried before the rollback gives up on that replica.
@@ -100,11 +100,17 @@ class ClusterCoordinator:
     for the replication counters: ``failovers``, ``replica_writes``,
     and ``migrated_chunks``.  Per-node byte counters stay on each
     manager (:meth:`node_stats`).
+
+    ``fuse_chains`` threads the fused delta-chain decode knob to every
+    node manager (and to the fresh generation a rebalance builds), so
+    deep-chain reads on every replica fold their composable delta
+    levels into one apply; results are byte-identical either way.
     """
 
     def __init__(self, root: str | Path, nodes: int = 4, *,
                  replication: int = 1, partition_axis: int = 0,
                  backend=None, workers: int | None = None,
+                 fuse_chains: bool | None = None,
                  **manager_kwargs):
         if nodes < 1:
             raise StorageError("a cluster needs at least one node")
@@ -119,6 +125,7 @@ class ClusterCoordinator:
                 "a cluster needs one backend per node; pass a backend"
                 " name or factory, not a shared instance")
         self.workers = resolve_workers(workers)
+        self.fuse_chains = resolve_fuse(fuse_chains)
         self.root = Path(root)
         self.nodes = nodes
         self.replication = replication
@@ -143,6 +150,7 @@ class ClusterCoordinator:
                         self._node_root(node, replica),
                         backend=backend,
                         workers=self.workers,
+                        fuse_chains=self.fuse_chains,
                         **manager_kwargs))
         except BaseException:
             # A half-built cluster must not leak the managers (and
@@ -639,6 +647,7 @@ class ClusterCoordinator:
                 replication=self.replication,
                 partition_axis=self.partition_axis,
                 backend=self._backend_spec, workers=self.workers,
+                fuse_chains=self.fuse_chains,
                 **self._manager_kwargs)
         except BaseException:
             # A half-built generation (its constructor closed the

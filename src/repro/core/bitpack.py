@@ -27,7 +27,11 @@ pattern repeats with period 64 and one vectorized column op per lane
 packs (or unpacks) that lane across *every* block at once; small
 arrays use a constant-call-count scatter (``np.bitwise_or.reduceat``
 over the non-decreasing word indices) / gather instead, which costs a
-dozen numpy calls regardless of width.  For D in {8, 16, 32, 64} the
+dozen numpy calls regardless of width.  Past ~1M values the blocked
+unpack goes *transposed*: the same 64-lane recovery runs per
+cache-sized tile of blocks instead of column-striding the whole
+multi-MB word array once per lane — identical bytes, cache-resident
+working set.  For D in {8, 16, 32, 64} the
 stream *is* a little-endian fixed-width integer array, so those widths
 reduce to pure ``astype``/``view`` reinterprets.
 
@@ -70,6 +74,19 @@ _BLOCK = 64
 #: weight matmul): below this the bit matrix is tiny and beats the
 #: word kernels' per-element constants.
 _MATMUL_BITS = 5
+
+#: Element count above which the blocked unpack walks its 64 lanes in
+#: *tiles* of blocks (the transposed variant).  Each lane pass strides
+#: the whole word array column-wise; past ~1M values that working set
+#: (words + values, several MB) is evicted 64 times over, so the lane
+#: loop runs per tile small enough for words and values to stay
+#: cache-resident across all 64 lanes.
+_TRANSPOSE_THRESHOLD = 1 << 20
+
+#: Blocks per tile of the transposed unpack: the per-tile working set
+#: is ``_TILE_BLOCKS * (bits + 64) * 8`` bytes — ~1 MiB at the widest
+#: widths, comfortably L2-resident.
+_TILE_BLOCKS = 1024
 
 
 def required_bits(max_value: int) -> int:
@@ -283,15 +300,11 @@ def _unpack_words_gather(data, bits: int, count: int, needed: int,
     return (lo | hi) & mask
 
 
-def _unpack_words_blocked(data, bits: int, count: int, needed: int,
-                          mask: np.uint64) -> np.ndarray:
-    """Unpack via the 64-value block kernel (see
-    :func:`_pack_words_blocked`): one shift/mask per lane recovers that
-    lane across all blocks at once."""
-    n_blocks = -(-count // _BLOCK)
-    words = _load_words(data, needed, n_blocks * bits)
-    words = words.reshape(n_blocks, bits)
-    values = np.empty((n_blocks, _BLOCK), dtype=np.uint64)
+def _unpack_lanes(words: np.ndarray, values: np.ndarray, bits: int,
+                  mask: np.uint64) -> None:
+    """The 64-lane shift/mask recovery shared by the whole-array and
+    transposed (tiled) blocked unpacks; ``words`` is ``(blocks, bits)``
+    and ``values`` the matching ``(blocks, 64)`` output view."""
     for lane in range(_BLOCK):
         start = lane * bits
         word, shift = start >> 6, start & 63
@@ -300,6 +313,32 @@ def _unpack_words_blocked(data, bits: int, count: int, needed: int,
             column = column | (words[:, word + 1]
                                << np.uint64(64 - shift))
         values[:, lane] = column & mask
+
+
+def _unpack_words_blocked(data, bits: int, count: int, needed: int,
+                          mask: np.uint64) -> np.ndarray:
+    """Unpack via the 64-value block kernel (see
+    :func:`_pack_words_blocked`): one shift/mask per lane recovers that
+    lane across all blocks at once.
+
+    Multi-MB arrays take the transposed variant: the identical lane
+    loop, tiled over block ranges so each tile's words and values stay
+    cache-resident across all 64 lane passes (one strided column walk
+    over a whole multi-MB array per lane evicts the cache 64 times
+    over).  The tiling only reorders independent per-row operations,
+    so the output is byte-identical to the untiled kernel.
+    """
+    n_blocks = -(-count // _BLOCK)
+    words = _load_words(data, needed, n_blocks * bits)
+    words = words.reshape(n_blocks, bits)
+    values = np.empty((n_blocks, _BLOCK), dtype=np.uint64)
+    if count >= _TRANSPOSE_THRESHOLD:
+        for start in range(0, n_blocks, _TILE_BLOCKS):
+            stop = min(start + _TILE_BLOCKS, n_blocks)
+            _unpack_lanes(words[start:stop], values[start:stop],
+                          bits, mask)
+    else:
+        _unpack_lanes(words, values, bits, mask)
     return values.reshape(-1)[:count]
 
 

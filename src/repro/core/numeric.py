@@ -107,6 +107,69 @@ def apply_delta_backward(derived: np.ndarray, delta: np.ndarray,
     raise CodecError(f"unknown delta mode {mode!r}")
 
 
+#: Accumulator dtype per delta mode: ARITHMETIC sums wrap in int64
+#: (mod 2**64, exactly the group the per-level deltas live in), XOR
+#: folds in uint64.  Both operations are associative and commutative,
+#: which is what lets a chain of k deltas collapse into one apply.
+_ACCUMULATOR_DTYPES = {ARITHMETIC: np.dtype(np.int64),
+                       XOR: np.dtype(np.uint64)}
+
+
+def accumulator_dtype(mode: str) -> np.dtype:
+    """The dtype a fused-chain accumulator uses for a delta mode."""
+    try:
+        return _ACCUMULATOR_DTYPES[mode]
+    except KeyError:
+        raise CodecError(f"unknown delta mode {mode!r}") from None
+
+
+def delta_accumulator(mode: str, count: int) -> np.ndarray:
+    """A zeroed flat accumulator for fused delta-chain composition.
+
+    Zero is the identity of both compose operations (wrapping add and
+    xor), so a fresh accumulator folded with any number of level
+    deltas holds exactly their composition.
+    """
+    return np.zeros(count, dtype=accumulator_dtype(mode))
+
+
+def accumulate_delta(accumulator: np.ndarray, delta: np.ndarray,
+                     mode: str) -> None:
+    """Fold one dense level delta into ``accumulator`` in place.
+
+    The ``out=`` form is the point: a k-level fused read reuses one
+    accumulator buffer instead of allocating k intermediate arrays.
+    ARITHMETIC wraps mod 2**64 — the same group :func:`compute_delta`
+    produced the per-level deltas in, so the fused sum telescopes to
+    exactly the stepwise result for every integer dtype.
+    """
+    if mode == ARITHMETIC:
+        with np.errstate(over="ignore"):
+            np.add(accumulator, delta, out=accumulator)
+    elif mode == XOR:
+        np.bitwise_xor(accumulator, delta, out=accumulator)
+    else:
+        raise CodecError(f"unknown delta mode {mode!r}")
+
+
+def scatter_delta(accumulator: np.ndarray, positions: np.ndarray,
+                  delta: np.ndarray, mode: str) -> None:
+    """Fold a sparse level delta — ``delta[i]`` at ``positions[i]`` —
+    into ``accumulator`` in place, at O(nnz) for the level.
+
+    Positions within one level are unique (they come from a
+    ``flatnonzero`` over that level's codes), so fancy-indexed in-place
+    ops are exact — no ``ufunc.at`` needed.
+    """
+    if mode == ARITHMETIC:
+        with np.errstate(over="ignore"):
+            accumulator[positions] += delta
+    elif mode == XOR:
+        accumulator[positions] ^= delta
+    else:
+        raise CodecError(f"unknown delta mode {mode!r}")
+
+
 def _bits_of(values: np.ndarray) -> np.ndarray:
     """uint64 view of a float array's IEEE bit patterns (widened)."""
     dtype = np.dtype(values.dtype)

@@ -40,6 +40,15 @@ class DeltaCodec(ABC):
     name: str = "abstract"
     #: Whether decode_backward is supported.
     bidirectional: bool = True
+    #: Whether this codec's deltas compose associatively — a chain of
+    #: such deltas can be folded into one accumulator and applied to
+    #: the root once (the fused read path).  Codecs that transform the
+    #: base rather than difference against it (bsdiff, mpeg-like) stay
+    #: False and decode level-by-level.
+    composable: bool = False
+    #: Whether :meth:`accumulate` folds at O(nnz) via scatter rather
+    #: than a full dense pass (sparse/hybrid; observability only).
+    scatters: bool = False
 
     # ------------------------------------------------------------------
     # Framing helpers shared by implementations
@@ -85,6 +94,20 @@ class DeltaCodec(ABC):
         raise CodecError(
             f"delta codec {self.name!r} is directional; "
             "the base cannot be reconstructed from the target")
+
+    def accumulate(self, data: bytes, accumulator: np.ndarray | None
+                   ) -> tuple[np.ndarray, str, np.dtype, tuple[int, ...]]:
+        """Fold this delta's codes into a fused-chain accumulator.
+
+        Returns ``(accumulator, mode, dtype, shape)``; ``None`` starts
+        a fresh accumulator.  Only meaningful for ``composable``
+        codecs — the decode pipeline calls it once per level and
+        applies the folded delta to the materialized root in a single
+        pass.
+        """
+        raise CodecError(
+            f"delta codec {self.name!r} does not compose; "
+            "decode level-by-level instead")
 
     def encoded_size(self, target: np.ndarray, base: np.ndarray) -> int:
         """Exact encoded size; codecs may override with a cheaper estimate."""

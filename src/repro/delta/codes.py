@@ -95,6 +95,39 @@ def decode_dense(data, offset: int, count: int
     return codes, offset + packed_len
 
 
+def decode_dense_into(data, offset: int, count: int,
+                      accumulator: np.ndarray, mode: str) -> int:
+    """Fold a dense section into a fused-chain accumulator.
+
+    The fused read path's counterpart of :func:`decode_dense`: the
+    decoded level delta is added/xored into ``accumulator`` via the
+    ``out=`` kernels instead of materializing an intermediate version.
+    Returns the next offset.
+    """
+    codes, offset = decode_dense(data, offset, count)
+    numeric.accumulate_delta(accumulator, codes_to_delta(codes, mode),
+                             mode)
+    return offset
+
+
+def ensure_accumulator(accumulator: np.ndarray | None, mode: str,
+                       count: int) -> np.ndarray:
+    """A fused-chain accumulator matching ``(mode, count)``.
+
+    Allocates on first use; on reuse verifies the chain is uniform —
+    every level of one chunk's chain must share the delta mode and
+    cell count (the dtype is fixed per attribute), so a mismatch means
+    a corrupt chain rather than a composable one.
+    """
+    if accumulator is None:
+        return numeric.delta_accumulator(mode, count)
+    if accumulator.dtype != numeric.accumulator_dtype(mode) or \
+            accumulator.size != count:
+        raise CodecError(
+            "fused chain mixes delta modes or cell counts across levels")
+    return accumulator
+
+
 # ----------------------------------------------------------------------
 # Sparse strategy
 # ----------------------------------------------------------------------
@@ -157,6 +190,37 @@ def decode_sparse(data, offset: int, count: int
         raise CodecError("sparse delta position out of range")
     codes[index] = values
     return codes, offset
+
+
+def decode_sparse_into(data, offset: int, count: int,
+                       accumulator: np.ndarray, mode: str) -> int:
+    """Fold a sparse section into a fused-chain accumulator.
+
+    The fused read path's replacement for :func:`decode_sparse`: the
+    ``(positions, values)`` pairs scatter-accumulate straight into
+    ``accumulator`` — no full-size ``codes`` canvas is ever allocated,
+    so a level that changed n cells costs O(n), not O(count).  Returns
+    the next offset.
+    """
+    data = _view(data)
+    nonzero, offset = unpack_i64(data, offset)
+    position_bits, offset = unpack_u8(data, offset)
+    value_bits, offset = unpack_u8(data, offset)
+    positions_len = bitpack.packed_size(nonzero, position_bits)
+    positions = bitpack.unpack_unsigned(
+        data[offset:offset + positions_len], position_bits, nonzero)
+    offset += positions_len
+    values_len = bitpack.packed_size(nonzero, value_bits)
+    values = bitpack.unpack_unsigned(
+        data[offset:offset + values_len], value_bits, nonzero)
+    offset += values_len
+    index = positions.astype(np.int64)
+    if index.size and (index.max() >= count or index.min() < 0):
+        raise CodecError("sparse delta position out of range")
+    if index.size:
+        numeric.scatter_delta(accumulator, index,
+                              codes_to_delta(values, mode), mode)
+    return offset
 
 
 # ----------------------------------------------------------------------
@@ -269,3 +333,44 @@ def decode_hybrid(data, offset: int, count: int
         raise CodecError("hybrid delta outlier position out of range")
     codes[index] = values
     return codes, offset
+
+
+def decode_hybrid_into(data, offset: int, count: int,
+                       accumulator: np.ndarray, mode: str) -> int:
+    """Fold a hybrid section into a fused-chain accumulator.
+
+    The small-code array stores code 0 (delta 0, the compose identity)
+    at every outlier position, so accumulating the dense part and then
+    scatter-accumulating the outliers composes exactly under both
+    modes.  A 0-bit small width (every code an outlier, or an all-zero
+    level) skips the dense pass entirely.  Returns the next offset.
+    """
+    data = _view(data)
+    small_bits, offset = unpack_u8(data, offset)
+    small_len = bitpack.packed_size(count, small_bits)
+    if small_bits:
+        small = bitpack.unpack_unsigned(
+            data[offset:offset + small_len], small_bits, count)
+        numeric.accumulate_delta(accumulator,
+                                 codes_to_delta(small, mode), mode)
+    offset += small_len
+
+    outlier_count, offset = unpack_i64(data, offset)
+    position_bits, offset = unpack_u8(data, offset)
+    value_bits, offset = unpack_u8(data, offset)
+    positions_len = bitpack.packed_size(outlier_count, position_bits)
+    positions = bitpack.unpack_unsigned(
+        data[offset:offset + positions_len], position_bits, outlier_count)
+    offset += positions_len
+    values_len = bitpack.packed_size(outlier_count, value_bits)
+    values = bitpack.unpack_unsigned(
+        data[offset:offset + values_len], value_bits, outlier_count)
+    offset += values_len
+
+    index = positions.astype(np.int64)
+    if index.size and (index.max() >= count or index.min() < 0):
+        raise CodecError("hybrid delta outlier position out of range")
+    if index.size:
+        numeric.scatter_delta(accumulator, index,
+                              codes_to_delta(values, mode), mode)
+    return offset

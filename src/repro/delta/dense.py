@@ -21,6 +21,7 @@ class DenseDeltaCodec(DeltaCodec):
 
     name = "dense"
     bidirectional = True
+    composable = True
 
     def encode_parts(self, target: np.ndarray,
                      base: np.ndarray) -> list[bytes]:
@@ -43,6 +44,20 @@ class DenseDeltaCodec(DeltaCodec):
                 f"dense delta payload has {len(data) - end} undecoded "
                 "trailing bytes")
         return codes, mode, dtype, shape
+
+    def accumulate(self, data, accumulator):
+        data = memoryview(data)
+        dtype, shape, mode, offset = self._unframe(data)
+        count = int(np.prod(shape)) if shape else 1
+        accumulator = code_store.ensure_accumulator(accumulator, mode,
+                                                    count)
+        end = code_store.decode_dense_into(data, offset, count,
+                                           accumulator, mode)
+        if end != len(data):
+            raise CodecError(
+                f"dense delta payload has {len(data) - end} undecoded "
+                "trailing bytes")
+        return accumulator, mode, dtype, shape
 
     def decode_forward(self, data: bytes, base: np.ndarray) -> np.ndarray:
         codes, mode, dtype, shape = self._decode_codes(data)

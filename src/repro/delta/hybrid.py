@@ -27,6 +27,8 @@ class HybridDeltaCodec(DeltaCodec):
 
     name = "hybrid"
     bidirectional = True
+    composable = True
+    scatters = True
 
     def __init__(self, lz: bool = False):
         self.lz = lz
@@ -47,6 +49,24 @@ class HybridDeltaCodec(DeltaCodec):
 
     def encode(self, target: np.ndarray, base: np.ndarray) -> bytes:
         return b"".join(self.encode_parts(target, base))
+
+    def accumulate(self, data, accumulator):
+        data = memoryview(data)
+        dtype, shape, mode, offset = self._unframe(data)
+        lz_flag, offset = unpack_u8(data, offset)
+        payload = data[offset:]
+        if lz_flag:
+            payload = unlz_bytes(payload)
+        count = int(np.prod(shape)) if shape else 1
+        accumulator = code_store.ensure_accumulator(accumulator, mode,
+                                                    count)
+        end = code_store.decode_hybrid_into(payload, 0, count,
+                                            accumulator, mode)
+        if end != len(payload):
+            raise CodecError(
+                f"hybrid delta payload has {len(payload) - end} "
+                "undecoded trailing bytes")
+        return accumulator, mode, dtype, shape
 
     def decode_forward(self, data: bytes, base: np.ndarray) -> np.ndarray:
         delta, mode, dtype, shape = self._decode_delta(data)

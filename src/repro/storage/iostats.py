@@ -36,6 +36,16 @@ is ever lost.  The write side is covered by four counters:
 ``concurrent_placements`` (placements dispatched through the commit
 stage's concurrent fan instead of the serial loop).
 
+The fused read path is covered by three counters: ``chains_fused``
+(chunk reconstructions that folded their whole delta chain into one
+accumulator and applied it to the root once), ``fused_levels`` (delta
+levels those folds absorbed — the full-array applies the fusion
+avoided), and ``scatter_levels`` (the subset of those levels composed
+at O(nnz) by sparse/hybrid scatter instead of a dense pass).  The scan
+bench reports them next to MB/s so the fused path's coverage is
+visible, and the equivalence oracle asserts they are exactly zero when
+the stepwise path must run.
+
 The cluster coordinator adds replication accounting on its own stats
 instance: ``replica_writes`` counts redundant version copies landed on
 non-primary replicas, ``failovers`` counts reads that abandoned a dead
@@ -68,6 +78,9 @@ class IOStats:
     bytes_over_fetched: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    chains_fused: int = 0
+    fused_levels: int = 0
+    scatter_levels: int = 0
     failovers: int = 0
     replica_writes: int = 0
     migrated_chunks: int = 0
@@ -122,6 +135,20 @@ class IOStats:
         with self._lock:
             self.ranged_gets += count
             self.bytes_over_fetched += over_fetched
+
+    def record_chain_fused(self, levels: int, scatter_levels: int) -> None:
+        """Account one chunk reconstruction served by the fused read
+        path: ``levels`` delta levels folded into one accumulator and
+        applied to the root in a single pass (instead of ``levels``
+        full-array applies), of which ``scatter_levels`` composed at
+        O(nnz) via sparse/hybrid scatter instead of a dense pass.  The
+        equivalence oracle asserts the counter is zero whenever the
+        stepwise path must run (prefetch admission, non-composable
+        codecs, fusion off)."""
+        with self._lock:
+            self.chains_fused += 1
+            self.fused_levels += levels
+            self.scatter_levels += scatter_levels
 
     def record_cache_hit(self) -> None:
         """Account one chunk-cache hit (a read the cache absorbed)."""

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compression.registry import get_codec
+from repro.core import numeric
 from repro.core.array import ArrayData
 from repro.core.errors import NoOverwriteError, StorageError
 from repro.delta.auto import EncodingDecision, choose_encoding
@@ -97,6 +98,27 @@ def resolve_workers(workers: int | None) -> int:
     if workers < 0:
         raise StorageError(f"workers must be >= 0, got {workers}")
     return workers
+
+
+def resolve_fuse(fuse_chains: bool | None) -> bool:
+    """Resolve the fused-chain-decode knob to a concrete boolean.
+
+    ``None`` defers to the ``REPRO_FUSE`` environment variable (the CI
+    conformance matrix runs the suite down both read paths this way);
+    the default is on — the fused path reads the very same payloads as
+    the stepwise one and reproduces its bytes exactly, it just applies
+    them in one pass.  Like :func:`resolve_workers`, malformed values
+    are rejected loudly before any durable state is created: a
+    misconfigured matrix cell silently testing the wrong path would
+    test nothing.
+    """
+    if fuse_chains is None:
+        raw = os.environ.get("REPRO_FUSE", "1")
+        if raw not in ("0", "1"):
+            raise StorageError(
+                f"REPRO_FUSE must be 0 or 1, got {raw!r}")
+        return raw == "1"
+    return bool(fuse_chains)
 
 
 class ChunkCache:
@@ -523,6 +545,18 @@ class DecodePipeline(_PooledStage):
     round trips per *object*, not per payload — which is exactly what
     makes the prefetch's decode-whole-chain-once policy pay for itself
     there.
+
+    ``fuse_chains`` selects the fused delta-decode: both delta modes
+    compose associatively (ARITHMETIC by wrapping int64 summation, XOR
+    by xor), so a chain of k composable deltas folds into one
+    accumulator — sparse/hybrid levels at O(nnz) by scatter — and is
+    applied to the materialized root in a *single* pass instead of k
+    full-array applies.  The stepwise path remains and is selected
+    whenever intermediates must be admitted to the cache (chain-aware
+    prefetch on) or any level's codec is non-composable (``bsdiff``,
+    ``mpeg_like`` transform the base rather than difference against
+    it).  Either path reads the same payloads and produces the same
+    bytes; only wall-clock and allocations differ.
     """
 
     _pool_prefix = "repro-decode"
@@ -530,11 +564,13 @@ class DecodePipeline(_PooledStage):
     def __init__(self, catalog: MetadataCatalog, store: ChunkStore, *,
                  cache: ChunkCache | None = None,
                  workers: int = 0,
-                 prefetch: bool = True):
+                 prefetch: bool = True,
+                 fuse_chains: bool = True):
         self.catalog = catalog
         self.store = store
         self.cache = cache if cache is not None else ChunkCache()
         self.prefetch = prefetch
+        self.fuse_chains = fuse_chains
         self._init_pool(workers)
 
     def reconstruct(self, record: ArrayRecord, version: int,
@@ -601,13 +637,20 @@ class DecodePipeline(_PooledStage):
             scope[root.version] = data
             resolved.append(root.version)
 
-        # Stage 4: delta-decode forward along the chain.
-        for chunk_record, payload in zip(reversed(chain),
-                                         reversed(payloads)):
-            codec = get_delta_codec(chunk_record.delta_codec)
-            data = codec.decode_forward(payload, data)
-            scope[chunk_record.version] = data
-            resolved.append(chunk_record.version)
+        # Stage 4: delta-decode — fused when the whole chain composes
+        # (one accumulator, one apply), stepwise otherwise.  With
+        # prefetch off, the stepwise path admits only the requested
+        # version too, so the fused path changes no cache behavior.
+        if self._fusible(chain):
+            data = self._fused_apply(chain, payloads, data)
+            scope[version] = data
+        else:
+            for chunk_record, payload in zip(reversed(chain),
+                                             reversed(payloads)):
+                codec = get_delta_codec(chunk_record.delta_codec)
+                data = codec.decode_forward(payload, data)
+                scope[chunk_record.version] = data
+                resolved.append(chunk_record.version)
 
         if self.cache.enabled:
             if self.prefetch:
@@ -622,6 +665,47 @@ class DecodePipeline(_PooledStage):
                              chunk.name), scope[intermediate])
             self.cache.put(key, data)
         return data
+
+    def _fusible(self, chain: list[ChunkRecord]) -> bool:
+        """Whether a located delta chain takes the fused path.
+
+        Depth-1 chains are already a single apply.  With the cache on
+        *and* chain-aware prefetch, the stepwise path is required:
+        prefetch's contract is that every intermediate version decoded
+        along the walk is admitted, and the fused path materializes
+        none of them.
+        """
+        if not self.fuse_chains or len(chain) < 2:
+            return False
+        if self.cache.enabled and self.prefetch:
+            return False
+        return all(record.delta_codec is not None
+                   and get_delta_codec(record.delta_codec).composable
+                   for record in chain)
+
+    def _fused_apply(self, chain: list[ChunkRecord],
+                     payloads: list[bytes],
+                     base: np.ndarray) -> np.ndarray:
+        """Fold every level's delta into one accumulator and apply it
+        to the materialized root in a single pass.
+
+        Compose order is irrelevant — both modes are associative *and*
+        commutative (wrapping int64 addition, xor) — so levels fold in
+        read order.  Sparse/hybrid levels scatter-accumulate at O(nnz)
+        without ever materializing a full-size codes canvas.
+        """
+        accumulator = None
+        scatter_levels = 0
+        mode = dtype = shape = None
+        for chunk_record, payload in zip(chain, payloads):
+            codec = get_delta_codec(chunk_record.delta_codec)
+            accumulator, mode, dtype, shape = codec.accumulate(
+                payload, accumulator)
+            if codec.scatters:
+                scatter_levels += 1
+        self.store.stats.record_chain_fused(len(chain), scatter_levels)
+        return numeric.apply_delta_forward(
+            base, accumulator.reshape(shape), mode, dtype)
 
     # ------------------------------------------------------------------
     # Stage 5: assembly
@@ -651,13 +735,33 @@ class DecodePipeline(_PooledStage):
                     version: int, lo: tuple[int, ...],
                     hi: tuple[int, ...], *,
                     workers: int | None = None) -> ArrayData:
-        """Assemble a zero-based hyper-rectangle of one version."""
+        """Assemble a zero-based hyper-rectangle of one version.
+
+        When exactly one chunk covers the query, the reconstructed
+        chunk already holds the answer: its sliced view is returned
+        directly instead of copying through a region-shaped canvas
+        (:class:`ArrayData` marks the views read-only, so cached chunk
+        contents can never be mutated through the result; a slice
+        spanning the whole chunk stays zero-copy).
+        """
         from repro.core.array import _sliced_schema
 
         schema = record.schema
+        chunks = list(grid.chunks_overlapping(lo, hi))
+        if len(chunks) == 1:
+            src, _ = overlap_slices(chunks[0], lo, hi)
+            tasks = [(attr, chunks[0]) for attr in schema.attributes]
+            attributes = {
+                attr.name: data[src]
+                for (attr, _), data in self._reconstruct_tasks(
+                    record, version, tasks,
+                    self._effective_workers(workers))
+            }
+            return ArrayData(_sliced_schema(schema, lo, hi), attributes)
+
         region_shape = tuple(h - l + 1 for l, h in zip(lo, hi))
         tasks = [(attr, chunk) for attr in schema.attributes
-                 for chunk in grid.chunks_overlapping(lo, hi)]
+                 for chunk in chunks]
         attributes = {
             attr.name: np.empty(region_shape, dtype=attr.dtype)
             for attr in schema.attributes

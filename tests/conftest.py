@@ -7,9 +7,13 @@ The suite honors two environment knobs the CI matrix sweeps:
   the encode/decode thread pools;
 * ``REPRO_BACKEND`` — the default storage backend spec of every
   manager (``resolve_backend``), so ``object`` runs the same subset
-  against the S3-style object path (ranged GETs, multipart staging).
+  against the S3-style object path (ranged GETs, multipart staging);
+* ``REPRO_FUSE`` — the default fused-chain-decode setting of every
+  manager (``resolve_fuse``), so ``0`` runs the whole subset down the
+  stepwise delta-decode path and ``1`` (the default) down the fused
+  single-apply path.
 
-Both are validated once, up front: a matrix cell with a typo must fail
+All are validated once, up front: a matrix cell with a typo must fail
 the whole session loudly, not silently test the serial/local path
 under a parallel/object label.
 """
@@ -22,16 +26,18 @@ import numpy as np
 import pytest
 
 from repro.storage.backend import ensure_backend_spec
-from repro.storage.pipeline import resolve_workers
+from repro.storage.pipeline import resolve_fuse, resolve_workers
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _validate_matrix_env() -> None:
-    """Fail fast on a malformed ``REPRO_BACKEND`` / ``REPRO_WORKERS``."""
+    """Fail fast on a malformed ``REPRO_BACKEND`` / ``REPRO_WORKERS``
+    / ``REPRO_FUSE``."""
     spec = os.environ.get("REPRO_BACKEND")
     if spec:
         ensure_backend_spec(spec)
     resolve_workers(None)
+    resolve_fuse(None)
 
 
 @pytest.fixture

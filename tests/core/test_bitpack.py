@@ -256,3 +256,35 @@ class TestZigzag:
         data, bits = bitpack.pack_signed(values)
         assert bits == 0
         assert data == b""
+
+
+class TestTiledUnpackEquivalence:
+    """The tiled (transposed) block-unpack dispatches by element count;
+    tiling only reorders independent per-lane operations, so its output
+    must be byte-identical to the straight-line kernel."""
+
+    @pytest.mark.parametrize("bits", (1, 13, 21, 47, 63, 64))
+    def test_tiled_matches_straight(self, monkeypatch, bits):
+        rng = np.random.default_rng(bits)
+        # Odd count: the final partial block crosses a tile boundary.
+        size = 64 * 3 * 5 + 17
+        values = _random_codes(rng, bits, size)
+        packed = bitpack.pack_unsigned(values, bits)
+        straight = bitpack.unpack_unsigned(packed, bits, size)
+        # Force the large-array path (tiny threshold and tile) so the
+        # tiled kernel runs over many partial tiles.
+        monkeypatch.setattr(bitpack, "_TRANSPOSE_THRESHOLD", 1)
+        monkeypatch.setattr(bitpack, "_TILE_BLOCKS", 3)
+        tiled = bitpack.unpack_unsigned(packed, bits, size)
+        assert tiled.tobytes() == straight.tobytes()
+        np.testing.assert_array_equal(tiled, values)
+
+    def test_real_threshold_roundtrip(self):
+        """One genuinely large array exercises the production dispatch
+        (count past ``_TRANSPOSE_THRESHOLD``) without monkeypatching."""
+        rng = np.random.default_rng(42)
+        size = bitpack._TRANSPOSE_THRESHOLD + 777
+        values = _random_codes(rng, 21, size)
+        packed = bitpack.pack_unsigned(values, 21)
+        out = bitpack.unpack_unsigned(packed, 21, size)
+        np.testing.assert_array_equal(out, values)
