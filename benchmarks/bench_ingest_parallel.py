@@ -5,7 +5,8 @@ fan-out) against five backends (buffered local files, durable local
 files with the group-commit fsync barrier, in-memory, striped local,
 and the S3-style object store with its multipart staging + finalize
 barrier), then adds the CPU-bound ``chain`` cells (every version
-hybrid-delta-encoded against its parent) on the fast substrates.  The
+hybrid-delta-encoded against its parent) on the fast substrates, swept
+with the single-pass encode planner both on and off.  The
 wall-clock columns are hardware-dependent and asserted nowhere; what
 must hold everywhere is the determinism contract: within each
 ``delta_policy`` profile every cell stores byte-identical payloads at
@@ -22,13 +23,13 @@ from repro.bench import ingest
 def bench_ingest_parallel(run_once):
     rows = run_once(ingest.run_full, json_path="BENCH_ingest.json")
 
-    assert len(rows) == 14
+    assert len(rows) == 18
     by_policy = {}
     for row in rows:
         by_policy.setdefault(row["delta_policy"], []).append(row)
     assert set(by_policy) == {"materialize", "chain"}
     assert len(by_policy["materialize"]) == 10
-    assert len(by_policy["chain"]) == 4
+    assert len(by_policy["chain"]) == 8
 
     for policy, policy_rows in by_policy.items():
         # The parallel write pipeline may change wall-clock only: one
@@ -54,3 +55,29 @@ def bench_ingest_parallel(run_once):
         by_policy["chain"][0]["fingerprint"]
     assert by_policy["chain"][0]["bytes_written"] < \
         by_policy["materialize"][0]["bytes_written"]
+
+    # The chain cells sweep the single-pass planner both ways.  The
+    # planner may change wall-clock only — on and off cells share the
+    # profile fingerprint (asserted above) — and only the planner-on
+    # cells may skip codec encodes.  Each one skips exactly one encode
+    # per delta task: the provably-larger materialized fallback.
+    chain = {(row["backend"], row["workers"], row["planner"]): row
+             for row in by_policy["chain"]}
+    assert {key[2] for key in chain} == {True, False}
+    for (backend, workers, planner), row in chain.items():
+        if planner:
+            delta_tasks = row["encode_tasks"] - row["encode_tasks"] \
+                // row["versions"]
+            assert row["encode_plans"] == row["encode_tasks"]
+            assert row["codec_encodes_avoided"] == delta_tasks
+            assert row["planner_bytes_saved"] > 0
+            # Strictly less work per chunk: the planner cell must not
+            # be slower than its two-pass twin (generous floor — the
+            # committed artifact records the actual ~1.5-2x ratio;
+            # asserting it exactly would flake on loaded CI hosts).
+            twin = chain[(backend, workers, False)]
+            assert row["versions_per_sec"] > \
+                0.9 * twin["versions_per_sec"]
+        else:
+            assert row["encode_plans"] == 0
+            assert row["codec_encodes_avoided"] == 0

@@ -49,6 +49,7 @@ import sys
 
 import numpy as np
 
+from repro.core import native
 from repro.core.errors import CodecError
 
 #: Hard upper bound on bit width — codes are manipulated as uint64.
@@ -151,14 +152,65 @@ def _pack_words_scatter(values: np.ndarray, bits: int,
     return words
 
 
+#: Per-width assembly plans for the blocked pack kernel, built lazily.
+_PACK_PLANS: dict[int, tuple] = {}
+
+
+def _pack_plan(bits: int) -> tuple:
+    """The gather/OR schedule packing 64 values of width ``bits``
+    (32 < bits < 64) into ``bits`` words, shared by every block.
+
+    Geometry, fixed per width: lane ``l``'s value starts at stream bit
+    ``l * bits``, i.e. word ``(l * bits) >> 6`` at shift
+    ``(l * bits) & 63``, spilling into the next word when the shift
+    pushes it past bit 64.  Every word has at least one lane *starting*
+    in it (a 64-bit window always contains a multiple of bits <= 64),
+    at most ``ceil(64 / bits)`` of them, and at most one spill (two
+    lanes starting in one word cannot both straddle its end), so the
+    whole block assembles as: one gather of each word's first starter,
+    one OR per additional-starter rank, one OR of the spills.
+    """
+    plan = _PACK_PLANS.get(bits)
+    if plan is None:
+        starts = np.arange(_BLOCK, dtype=np.int64) * bits
+        word = starts >> 6
+        shift = starts & 63
+        first = np.searchsorted(word, np.arange(bits))
+        counts = np.bincount(word, minlength=bits)
+        ranks = []
+        for rank in range(1, int(counts.max())):
+            dest = np.flatnonzero(counts > rank)
+            ranks.append((dest, first[dest] + rank))
+        straddlers = np.flatnonzero(shift + bits > 64)
+        plan = (shift.astype(np.uint64), first, tuple(ranks),
+                straddlers, (64 - shift[straddlers]).astype(np.uint64),
+                word[straddlers] + 1)
+        _PACK_PLANS[bits] = plan
+    return plan
+
+
 def _pack_words_blocked(values: np.ndarray, bits: int) -> np.ndarray:
     """Pack via the 64-value block kernel.
 
-    64 values of width ``bits`` span exactly ``bits`` words, so the
-    (word, shift) pattern is identical in every block: one shifted OR
-    per lane packs that lane across all blocks at once.  The trailing
-    partial block is zero-padded — zero contributions are no-ops and
-    the caller truncates the byte stream to the exact packed size.
+    64 values of width D span exactly D words, so the (word, shift)
+    pattern is identical in every block and the whole array packs with
+    a fixed number of *whole-array* operations — no per-lane loop whose
+    ~200 small column ops cost more dispatch than compute at the tens-
+    of-thousands-of-values sizes real chunks produce:
+
+    * widths <= 32 first *fold*: adjacent pairs merge as
+      ``v[2i] | (v[2i+1] << D)`` — exactly the stream's own layout, so
+      folding is lossless — halving the value count and doubling the
+      width per step until D > 32 (a fold reaching D = 64 *is* the
+      finished word array);
+    * the remaining 32 < D < 64 widths assemble from the per-width
+      :func:`_pack_plan` schedule: shift every lane once, gather each
+      word's first starting lane, OR in the few additional-starter
+      ranks and the word-boundary spills.
+
+    The trailing partial block is zero-padded — zero contributions are
+    no-ops and the caller truncates the byte stream to the exact packed
+    size.
     """
     count = values.size
     n_blocks = -(-count // _BLOCK)
@@ -166,18 +218,46 @@ def _pack_words_blocked(values: np.ndarray, bits: int) -> np.ndarray:
         padded = np.zeros(n_blocks * _BLOCK, dtype=np.uint64)
         padded[:count] = values
         values = padded
-    lanes = values.reshape(n_blocks, _BLOCK)
-    words = np.zeros((n_blocks, bits), dtype=np.uint64)
-    for lane in range(_BLOCK):
-        start = lane * bits
-        word, shift = start >> 6, start & 63
-        column = lanes[:, lane]
-        words[:, word] |= column << np.uint64(shift)
-        if shift + bits > 64:
-            # The lane straddles a word boundary; its end bit
-            # 64 * bits - 1 stays inside the block, so word + 1 < bits.
-            words[:, word + 1] |= column >> np.uint64(64 - shift)
+    while bits <= 32:
+        # Padded to a multiple of 64 values, the size stays even
+        # through every fold (at most 6 of them).
+        values = values[0::2] | (values[1::2] << np.uint64(bits))
+        bits *= 2
+    if bits == 64:
+        return values
+    if values.size % _BLOCK:
+        # Folding shrank the array below a whole block multiple.
+        padded = np.zeros(-(-values.size // _BLOCK) * _BLOCK,
+                          dtype=np.uint64)
+        padded[:values.size] = values
+        values = padded
+    plan = _pack_plan(bits)
+    lanes = values.reshape(-1, _BLOCK)
+    n_blocks = lanes.shape[0]
+    words = np.empty((n_blocks, bits), dtype=np.uint64)
+    if n_blocks > _TILE_BLOCKS:
+        # Same cache argument as the transposed unpack: the gathers
+        # stride the whole array column-wise once per schedule step,
+        # so past ~64K values they run per cache-sized tile of blocks.
+        for start in range(0, n_blocks, _TILE_BLOCKS):
+            stop = min(start + _TILE_BLOCKS, n_blocks)
+            _pack_assemble(lanes[start:stop], words[start:stop], plan)
+    else:
+        _pack_assemble(lanes, words, plan)
     return words.reshape(-1)
+
+
+def _pack_assemble(lanes: np.ndarray, words: np.ndarray,
+                   plan: tuple) -> None:
+    """Run one :func:`_pack_plan` schedule: ``lanes`` is ``(blocks,
+    64)`` input values, ``words`` the matching ``(blocks, bits)``
+    output view."""
+    shift, first, ranks, straddlers, spill_shift, spill_dest = plan
+    lo = lanes << shift
+    np.take(lo, first, axis=1, out=words)
+    for dest, src in ranks:
+        words[:, dest] |= lo[:, src]
+    words[:, spill_dest] |= lanes[:, straddlers] >> spill_shift
 
 
 def pack_unsigned(values: np.ndarray, bits: int) -> bytes:
@@ -207,10 +287,14 @@ def pack_unsigned(values: np.ndarray, bits: int) -> bytes:
 
     count = values.size
     n_words = (count * bits + 63) // 64
-    if count >= _BLOCK_THRESHOLD:
-        words = _pack_words_blocked(values, bits)
-    else:
-        words = _pack_words_scatter(values, bits, n_words)
+    # The compiled carry-register kernel emits the identical stream in
+    # one pass when available; the numpy kernels are the fallback.
+    words = native.pack_bits(values, bits)
+    if words is None:
+        if count >= _BLOCK_THRESHOLD:
+            words = _pack_words_blocked(values, bits)
+        else:
+            words = _pack_words_scatter(values, bits, n_words)
 
     needed = (count * bits + 7) // 8
     if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only

@@ -1,0 +1,206 @@
+"""Optional compiled kernels for the hottest write-path loops.
+
+The numpy kernels in :mod:`repro.core.bitpack` and the planner's
+shared-stats pass are bound by one structural cost: every logical step
+is a whole-array numpy operation, so a chunk is streamed through the
+cache once per step — the 32K-cell encode path reads and writes its
+256 KB intermediates a dozen times.  A scalar C loop does the same
+work in one stream per kernel: the fused delta kernel loads each cell
+pair once and emits the zigzag code and its width-histogram bucket in
+the same pass, and the pack kernel emits the LSB-first bit stream with
+a single carry register.
+
+The kernels are *pure accelerators*: they are gated behind runtime
+compilation with the host C compiler and every caller keeps its numpy
+path, which produces byte-identical output (the equivalence is part of
+the test suite).  No compiler, a failed compile, a read-only tree, or
+``REPRO_NATIVE=0`` all degrade silently to numpy — behaviour, stored
+bytes and test results are identical either way; only throughput
+changes.
+
+The shared object is cached under ``.cache/native/`` next to the
+package (keyed by a hash of the C source, so edits rebuild) and falls
+back to a per-process temporary directory when the tree is not
+writable.  Compilation happens at most once per process, lazily, on
+the first kernel request.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* Fused arithmetic delta over int64 cells: one streaming pass emits
+ * the wrap-around difference's zigzag code and counts its exact bit
+ * length into a 65-bucket histogram.  Matches numpy's
+ * compute_delta -> zigzag_encode -> width bincount bit for bit. */
+void repro_delta_zigzag_hist(const int64_t *t, const int64_t *b,
+                             uint64_t *codes, int64_t *hist,
+                             int64_t n)
+{
+    memset(hist, 0, 65 * sizeof(int64_t));
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t d = (uint64_t)t[i] - (uint64_t)b[i];
+        /* zigzag: (d << 1) ^ (d >> 63) with an arithmetic shift,
+         * written with an explicit sign mask so the behaviour does
+         * not depend on the compiler's signed-shift choice. */
+        uint64_t sign = -(uint64_t)((int64_t)d < 0);
+        uint64_t code = (d << 1) ^ sign;
+        codes[i] = code;
+        hist[code ? 64 - __builtin_clzll(code) : 0]++;
+    }
+}
+
+/* LSB-first bit stream pack for any width 1..64: value i occupies
+ * stream bits [i*bits, (i+1)*bits).  A single carry register crosses
+ * word boundaries, so each input is loaded once and each output word
+ * stored once.  The trailing partial word is zero-padded. */
+void repro_pack_bits(const uint64_t *v, int64_t n, int64_t bits,
+                     uint64_t *w)
+{
+    if (bits == 64) {
+        memcpy(w, v, (size_t)n * sizeof(uint64_t));
+        return;
+    }
+    uint64_t acc = 0;
+    int64_t fill = 0;
+    int64_t wi = 0;
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t x = v[i];
+        acc |= x << fill;
+        fill += bits;
+        if (fill >= 64) {
+            w[wi++] = acc;
+            fill -= 64;
+            acc = fill ? x >> (bits - fill) : 0;
+        }
+    }
+    if (fill)
+        w[wi] = acc;
+}
+"""
+
+_I64_P = ctypes.POINTER(ctypes.c_int64)
+_U64_P = ctypes.POINTER(ctypes.c_uint64)
+
+_lock = threading.Lock()
+_lib: ctypes.CDLL | None = None
+_tried = False
+
+
+def _cache_dir() -> Path:
+    """Build cache next to the repo tree, else a temp dir."""
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / ".cache" / "native"
+
+
+def _compile() -> ctypes.CDLL | None:
+    compiler = os.environ.get("CC", "cc")
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    for root in (_cache_dir(), Path(tempfile.gettempdir()) / "repro-native"):
+        so_path = root / f"reprokernels-{digest}.so"
+        try:
+            if not so_path.exists():
+                root.mkdir(parents=True, exist_ok=True)
+                src = root / f"reprokernels-{digest}.c"
+                src.write_text(_SOURCE)
+                staging = root / f".build-{os.getpid()}-{digest}.so"
+                subprocess.run(
+                    [compiler, "-O2", "-shared", "-fPIC",
+                     "-o", str(staging), str(src)],
+                    check=True, capture_output=True, timeout=120)
+                # Atomic publish: concurrent builders race benignly.
+                os.replace(staging, so_path)
+            lib = ctypes.CDLL(str(so_path))
+        except (OSError, subprocess.SubprocessError):
+            continue
+        lib.repro_delta_zigzag_hist.argtypes = [
+            _I64_P, _I64_P, _U64_P, _I64_P, ctypes.c_int64]
+        lib.repro_delta_zigzag_hist.restype = None
+        lib.repro_pack_bits.argtypes = [
+            _U64_P, ctypes.c_int64, ctypes.c_int64, _U64_P]
+        lib.repro_pack_bits.restype = None
+        return lib
+    return None
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _tried
+    if _tried:
+        return _lib
+    with _lock:
+        if not _tried:
+            raw = os.environ.get("REPRO_NATIVE", "1")
+            _lib = _compile() if raw != "0" else None
+            _tried = True
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled kernels are usable in this process."""
+    return _load() is not None
+
+
+def delta_zigzag_stats(target: np.ndarray, base: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray] | None:
+    """Fused ``compute_delta`` + zigzag + width histogram, or None.
+
+    Applies only to the arithmetic int64 cell path over C-contiguous
+    arrays — exactly the layout the chunk pipeline produces.  Returns
+    ``(codes, width_counts)`` where ``codes`` is the flat uint64 zigzag
+    code array and ``width_counts[d]`` counts codes of exact bit length
+    ``d`` — both bit-identical to the numpy pipeline's.
+    """
+    lib = _load()
+    # The isinstance gate matters: numpy *scalars* (0-d arithmetic
+    # results) satisfy the dtype/flags/size checks but carry no
+    # ``.ctypes`` buffer interface.
+    if (lib is None
+            or not isinstance(target, np.ndarray)
+            or not isinstance(base, np.ndarray)
+            or target.dtype != np.int64 or base.dtype != np.int64
+            or not target.flags.c_contiguous
+            or not base.flags.c_contiguous
+            or target.size == 0):
+        return None
+    n = target.size
+    codes = np.empty(n, dtype=np.uint64)
+    hist = np.empty(65, dtype=np.int64)
+    lib.repro_delta_zigzag_hist(
+        target.ctypes.data_as(_I64_P), base.ctypes.data_as(_I64_P),
+        codes.ctypes.data_as(_U64_P), hist.ctypes.data_as(_I64_P),
+        ctypes.c_int64(n))
+    return codes, hist
+
+
+def pack_bits(values: np.ndarray, bits: int) -> np.ndarray | None:
+    """LSB-first packed word array of ``values`` at ``bits``, or None.
+
+    ``values`` must be flat, C-contiguous uint64 already validated to
+    fit ``bits`` (the caller, :func:`repro.core.bitpack.pack_unsigned`,
+    checks).  Byte-identical to the numpy block kernels.
+    """
+    lib = _load()
+    if (lib is None or not isinstance(values, np.ndarray)
+            or not values.flags.c_contiguous or values.size == 0):
+        return None
+    n = values.size
+    words = np.empty((n * bits + 63) // 64, dtype=np.uint64)
+    lib.repro_pack_bits(
+        values.ctypes.data_as(_U64_P), ctypes.c_int64(n),
+        ctypes.c_int64(bits), words.ctypes.data_as(_U64_P))
+    return words

@@ -6,11 +6,15 @@ binary differ — plus automatic materialize-vs-delta selection.
 """
 
 from repro.delta.auto import (
+    CodePlan,
     EncodingDecision,
+    PlannedEncoding,
     choose_encoding,
     default_delta_candidates,
+    plan_encoding,
 )
 from repro.delta.base import DeltaCodec
+from repro.delta.codes import CodeStats
 from repro.delta.bsdiff import BSDiffDeltaCodec, suffix_array
 from repro.delta.dense import DenseDeltaCodec
 from repro.delta.hybrid import HybridDeltaCodec
@@ -24,14 +28,18 @@ from repro.delta.sparse import SparseDeltaCodec
 
 __all__ = [
     "BSDiffDeltaCodec",
+    "CodePlan",
+    "CodeStats",
     "DeltaCodec",
     "DenseDeltaCodec",
     "EncodingDecision",
     "HybridDeltaCodec",
     "MPEGLikeDeltaCodec",
+    "PlannedEncoding",
     "SparseDeltaCodec",
     "choose_encoding",
     "default_delta_candidates",
+    "plan_encoding",
     "delta_codec_names",
     "get_delta_codec",
     "register_delta_codec",

@@ -7,19 +7,38 @@ economical one."  Section II-A adds that "delta-ing is performed
 automatically by comparing the new version to versions already in the
 system" — the user never has to supply the delta-list form to benefit.
 
-:func:`choose_encoding` implements that decision for one array (or one
-chunk): it compares the materialized size against the candidate delta
-codecs' sizes and returns the cheapest plan.
+Two implementations of that decision live here:
+
+* :func:`choose_encoding` — the exhaustive two-pass form: fully encode
+  the materialized representation *and* every candidate delta codec,
+  keep the smallest.  Every loser's payload is thrown away, and each
+  candidate independently recomputes the same delta, zigzag and width
+  statistics.  It remains the reference oracle (the planner's property
+  suite asserts equality against it) and the ``REPRO_ENCODE_PLANNER=0``
+  fallback path.
+* :func:`plan_encoding` — the single-pass planner: one
+  :class:`CodePlan` computes the delta, the unsigned code array and its
+  width statistics exactly once; every candidate is *sized* from the
+  shared plan (exact sizes, not estimates — the codecs' ``plan_size``
+  is byte-accurate), the materialized size is derived analytically
+  under the identity compressor, and exactly one encoder runs: the
+  winner's, fed the already-computed codes.  Same winner, same size,
+  same payload bytes as the two-pass form — only the wasted encodes are
+  gone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 import numpy as np
 
 from repro.compression.base import Codec, IdentityCodec
+from repro.core import native, numeric
+from repro.core.serial import pack_array_header
 from repro.delta.base import DeltaCodec
+from repro.delta.codes import CodeStats, codes_to_delta, delta_to_codes
 from repro.delta.hybrid import HybridDeltaCodec
 from repro.delta.sparse import SparseDeltaCodec
 
@@ -32,21 +51,87 @@ class EncodingDecision:
     the winning delta codec.  ``size`` is the encoded byte count of the
     winning representation and ``parts`` its buffers — the sections the
     encoder produced, carried unjoined so the chunk store can compose
-    the payload exactly once at placement (:attr:`payload` joins them
-    for callers that want one byte string).
+    the payload exactly once at placement.  :attr:`payload` joins them
+    for callers that want one byte string; the join is cached, so
+    repeated access costs one copy total instead of one per access.
     """
 
     delta_codec: str | None
     size: int
     parts: tuple[bytes, ...]
 
-    @property
+    @cached_property
     def payload(self) -> bytes:
         return b"".join(self.parts)
 
     @property
     def is_delta(self) -> bool:
         return self.delta_codec is not None
+
+
+@dataclass(frozen=True)
+class CodePlan:
+    """The shared single-pass state of one chunk's encode.
+
+    Computed once per (target, base) pair and handed to every candidate
+    codec: the raw ``delta`` and its ``mode``, the flat unsigned
+    ``codes`` the strategies of Section III-B.3 operate on, and the
+    code array's :class:`~repro.delta.codes.CodeStats` — the one-pass
+    width order statistics (a counting sort over code bit widths) that
+    replace the per-candidate ``np.sort`` + ``searchsorted`` the
+    two-pass path repeated for every estimator.  Dense width, sparse
+    nonzero count and the full hybrid split-cost curve all fall out of
+    the same statistics, so sizing a candidate costs arithmetic on a
+    65-bucket histogram, not a pass over the chunk.
+    """
+
+    target: np.ndarray
+    base: np.ndarray
+    mode: str
+    codes: np.ndarray
+    stats: CodeStats
+
+    @classmethod
+    def build(cls, target: np.ndarray, base: np.ndarray) -> "CodePlan":
+        numeric.check_same_layout(target, base)
+        fused = native.delta_zigzag_stats(target, base)
+        if fused is not None:
+            # One streaming pass produced the codes and the width
+            # histogram together; the raw delta is never materialized
+            # (the :attr:`delta` property rebuilds it on demand).
+            codes, counts = fused
+            return cls(target=target, base=base, mode=numeric.ARITHMETIC,
+                       codes=codes,
+                       stats=CodeStats.from_width_counts(codes.size,
+                                                         counts))
+        delta, mode = numeric.compute_delta(target, base)
+        codes = delta_to_codes(delta, mode)
+        plan = cls(target=target, base=base, mode=mode, codes=codes,
+                   stats=CodeStats.from_codes(codes))
+        # Seed the lazy property: this path already paid for the delta.
+        plan.__dict__["delta"] = delta
+        return plan
+
+    @cached_property
+    def delta(self) -> np.ndarray:
+        """The raw delta array, rebuilt from the codes when the fused
+        kernel skipped materializing it (codes round-trip exactly)."""
+        return codes_to_delta(self.codes,
+                              self.mode).reshape(self.target.shape)
+
+
+@dataclass(frozen=True)
+class PlannedEncoding:
+    """A planner decision plus what the plan saved over the two-pass
+    path: ``encodes_avoided`` counts representations that were sized
+    exactly but never encoded (losing candidates, and the materialized
+    form when a delta provably wins under the identity compressor), and
+    ``bytes_saved`` is the total size of those never-produced payloads.
+    """
+
+    decision: EncodingDecision
+    encodes_avoided: int
+    bytes_saved: int
 
 
 def default_delta_candidates() -> tuple[DeltaCodec, ...]:
@@ -63,7 +148,7 @@ def choose_encoding(target: np.ndarray, base: np.ndarray | None,
                     compressor: Codec | None = None,
                     candidates: tuple[DeltaCodec, ...] | None = None,
                     ) -> EncodingDecision:
-    """Pick the cheapest representation of ``target``.
+    """Pick the cheapest representation of ``target`` (two-pass form).
 
     ``base`` is the version the optimizer proposes to delta against
     (None forces materialization).  ``compressor`` is applied to the
@@ -84,3 +169,104 @@ def choose_encoding(target: np.ndarray, base: np.ndarray | None,
             best = EncodingDecision(delta_codec=codec.name,
                                     size=size, parts=tuple(parts))
     return best
+
+
+@lru_cache(maxsize=256)
+def _identity_header_len(dtype_str: str, shape: tuple[int, ...]) -> int:
+    """Length of the identity codec's array header, cached per layout
+    (the write pipeline sizes the same chunk geometry thousands of
+    times)."""
+    return len(pack_array_header(np.dtype(dtype_str), shape))
+
+
+def materialized_size(target: np.ndarray, compressor: Codec
+                      ) -> tuple[int, bytes | None]:
+    """Exact materialized size, without encoding when provable.
+
+    Under the identity compressor the encoded form is the array header
+    plus the raw cell bytes, so its length is arithmetic — the planner
+    can rule materialization in or out without producing the payload.
+    Any other compressor's output length is data dependent: encode it
+    and return the payload alongside so a materialize win reuses it.
+    ``type(...) is IdentityCodec`` deliberately excludes subclasses,
+    whose ``encode`` may differ.
+    """
+    if type(compressor) is IdentityCodec:
+        # ascontiguousarray (which IdentityCodec applies) promotes 0-d
+        # arrays to shape (1,), so the stored header carries one extent.
+        shape = target.shape if target.ndim else (1,)
+        return _identity_header_len(target.dtype.str, shape) \
+            + target.nbytes, None
+    encoded = compressor.encode(target)
+    return len(encoded), encoded
+
+
+def plan_encoding(target: np.ndarray, base: np.ndarray | None,
+                  compressor: Codec | None = None,
+                  candidates: tuple[DeltaCodec, ...] | None = None,
+                  ) -> PlannedEncoding:
+    """Pick the cheapest representation of ``target`` in a single pass.
+
+    Decision-equivalent and byte-identical to :func:`choose_encoding`
+    over the same arguments (same winner under the same first-strictly-
+    smaller tie-break, same size, same payload), but: the delta, code
+    array and width statistics are computed once and shared; candidates
+    that can size themselves from the plan are never encoded unless
+    they win; candidates that cannot (LZ stages, transform codecs) are
+    encoded exactly once and their parts cached for the win case; and
+    the materialized form is sized analytically under the identity
+    compressor, so when a delta wins its payload is never produced.
+    """
+    compressor = compressor or IdentityCodec()
+    mat_size, mat_payload = materialized_size(target, compressor)
+    if base is None:
+        if mat_payload is None:
+            mat_payload = compressor.encode(target)
+        decision = EncodingDecision(delta_codec=None, size=mat_size,
+                                    parts=(mat_payload,))
+        return PlannedEncoding(decision=decision, encodes_avoided=0,
+                               bytes_saved=0)
+
+    plan = CodePlan.build(target, base)
+    best_codec: DeltaCodec | None = None
+    best_size = mat_size
+    best_parts: list[bytes] | None = None
+    sized: list[tuple[DeltaCodec, int, list[bytes] | None]] = []
+    for codec in candidates or default_delta_candidates():
+        size = codec.plan_size(plan)
+        parts = None
+        if size is None:
+            # Data-dependent size: encode once, cache the parts so a
+            # win never re-encodes.
+            parts = codec.encode_from_plan(plan)
+            size = sum(len(part) for part in parts)
+        sized.append((codec, size, parts))
+        if size < best_size:
+            best_codec, best_size, best_parts = codec, size, parts
+
+    encodes_avoided = 0
+    bytes_saved = 0
+    for codec, size, parts in sized:
+        if parts is None and codec is not best_codec:
+            encodes_avoided += 1
+            bytes_saved += size
+
+    if best_codec is None:
+        if mat_payload is None:
+            mat_payload = compressor.encode(target)
+        decision = EncodingDecision(delta_codec=None, size=mat_size,
+                                    parts=(mat_payload,))
+    else:
+        if mat_payload is None:
+            # The cost model proved a delta wins under the identity
+            # compressor: the materialized payload is never produced.
+            encodes_avoided += 1
+            bytes_saved += mat_size
+        if best_parts is None:
+            best_parts = best_codec.encode_from_plan(plan)
+        decision = EncodingDecision(delta_codec=best_codec.name,
+                                    size=best_size,
+                                    parts=tuple(best_parts))
+    return PlannedEncoding(decision=decision,
+                           encodes_avoided=encodes_avoided,
+                           bytes_saved=bytes_saved)

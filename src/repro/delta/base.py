@@ -59,6 +59,14 @@ class DeltaCodec(ABC):
                 + pack_u8(_MODE_TO_TAG[mode]))
 
     @staticmethod
+    def _frame_size(target: np.ndarray) -> int:
+        """Byte length of :meth:`_frame` without building it:
+        dtype string length byte + dtype string + ndim byte + extents
+        + the delta mode byte."""
+        dtype_len = len(np.dtype(target.dtype).str)
+        return 1 + dtype_len + 1 + 8 * target.ndim + 1
+
+    @staticmethod
     def _unframe(data: bytes) -> tuple[np.dtype, tuple[int, ...], str, int]:
         dtype, shape, offset = unpack_array_header(data)
         tag, offset = unpack_u8(data, offset)
@@ -112,6 +120,33 @@ class DeltaCodec(ABC):
     def encoded_size(self, target: np.ndarray, base: np.ndarray) -> int:
         """Exact encoded size; codecs may override with a cheaper estimate."""
         return len(self.encode(target, base))
+
+    # ------------------------------------------------------------------
+    # Planner integration (single-pass encode selection)
+    # ------------------------------------------------------------------
+    def plan_size(self, plan: "CodePlan") -> int | None:
+        """Exact encoded size derived from a shared :class:`CodePlan`.
+
+        The single-pass planner sizes every candidate from one delta /
+        code-array / width-histogram computation and encodes only the
+        winner.  Codecs whose size is a pure function of the plan's
+        statistics return it here *without encoding anything*; ``None``
+        means the size is data dependent beyond the statistics (LZ
+        stages, transform codecs) and the planner must fall back to
+        encoding this candidate to learn its size.
+        """
+        return None
+
+    def encode_from_plan(self, plan: "CodePlan") -> list[bytes]:
+        """Encode using the plan's precomputed delta, codes and stats.
+
+        Must emit exactly the bytes :meth:`encode_parts` would for the
+        plan's ``(target, base)`` pair — the planner's hard invariant
+        is byte identity with the two-pass path.  The default recomputes
+        from the arrays; code-array codecs override to reuse the shared
+        work.
+        """
+        return self.encode_parts(plan.target, plan.base)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -74,8 +74,14 @@ class DenseDeltaCodec(DeltaCodec):
         codes = code_store.delta_to_codes(delta, mode)
         return self._header_size(target) + code_store.dense_size(codes)
 
-    @staticmethod
-    def _header_size(target: np.ndarray) -> int:
-        # dtype string length byte + dtype string + ndim byte + extents
-        dtype_len = len(np.dtype(target.dtype).str)
-        return 1 + dtype_len + 1 + 8 * target.ndim + 1
+    def plan_size(self, plan) -> int:
+        return self._frame_size(plan.target) + \
+            code_store.dense_size(plan.codes, plan.stats)
+
+    def encode_from_plan(self, plan) -> list[bytes]:
+        return [self._frame(plan.target, plan.mode),
+                *code_store.encode_dense_parts(plan.codes, plan.stats)]
+
+    # Alias kept for existing callers; the framing math lives on the
+    # base class so every codec prices the shared header identically.
+    _header_size = staticmethod(DeltaCodec._frame_size)

@@ -79,14 +79,31 @@ class HybridDeltaCodec(DeltaCodec):
             target, delta.reshape(shape), mode, dtype)
 
     def encoded_size(self, target: np.ndarray, base: np.ndarray) -> int:
-        if self.lz:
-            # LZ output size is data dependent; no shortcut exists.
-            return len(self.encode(target, base))
         delta, mode = numeric.compute_delta(target, base)
         codes = code_store.delta_to_codes(delta, mode)
-        dtype_len = len(np.dtype(target.dtype).str)
-        header = 1 + dtype_len + 1 + 8 * target.ndim + 1 + 1
+        header = self._frame_size(target) + 1  # + the LZ flag byte
+        if self.lz:
+            # The LZ output size is data dependent, so the compressor
+            # must run — but only over the packed split sections; the
+            # framing never reaches the LZ stage, so its size is added
+            # analytically instead of round-tripping a full encode().
+            packed = b"".join(code_store.encode_hybrid_parts(codes))
+            return header + len(lz_bytes(packed))
         return header + code_store.hybrid_size(codes)
+
+    def plan_size(self, plan) -> int | None:
+        if self.lz:
+            # Data dependent: the planner falls back to (one) encode.
+            return None
+        return self._frame_size(plan.target) + 1 + \
+            code_store.hybrid_size(plan.codes, plan.stats)
+
+    def encode_from_plan(self, plan) -> list[bytes]:
+        parts = code_store.encode_hybrid_parts(plan.codes, plan.stats)
+        if self.lz:
+            parts = [lz_bytes(b"".join(parts))]
+        return [self._frame(plan.target, plan.mode),
+                pack_u8(int(self.lz)), *parts]
 
     # ------------------------------------------------------------------
     def _decode_delta(self, data: bytes):

@@ -73,6 +73,12 @@ class SparseDeltaCodec(DeltaCodec):
     def encoded_size(self, target: np.ndarray, base: np.ndarray) -> int:
         delta, mode = numeric.compute_delta(target, base)
         codes = code_store.delta_to_codes(delta, mode)
-        dtype_len = len(np.dtype(target.dtype).str)
-        header = 1 + dtype_len + 1 + 8 * target.ndim + 1
-        return header + code_store.sparse_size(codes)
+        return self._frame_size(target) + code_store.sparse_size(codes)
+
+    def plan_size(self, plan) -> int:
+        return self._frame_size(plan.target) + \
+            code_store.sparse_size(plan.codes, plan.stats)
+
+    def encode_from_plan(self, plan) -> list[bytes]:
+        return [self._frame(plan.target, plan.mode),
+                *code_store.encode_sparse_parts(plan.codes, plan.stats)]

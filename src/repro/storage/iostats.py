@@ -36,6 +36,18 @@ is ever lost.  The write side is covered by four counters:
 ``concurrent_placements`` (placements dispatched through the commit
 stage's concurrent fan instead of the serial loop).
 
+The single-pass encode planner adds three more write-side counters:
+``encode_plans`` (chunk encodes that went through
+:func:`~repro.delta.auto.plan_encoding` instead of the exhaustive
+two-pass :func:`~repro.delta.auto.choose_encoding`),
+``codec_encodes_avoided`` (representations the planner sized exactly
+from the shared code plan but never encoded — losing delta candidates,
+plus the materialized payload whenever the cost model proves a delta
+wins under the identity compressor), and ``planner_bytes_saved`` (the
+total size of those never-produced payloads).  The planner's contract
+is that it changes no stored byte, so these counters are the only
+place its work is visible outside wall-clock time.
+
 The fused read path is covered by three counters: ``chains_fused``
 (chunk reconstructions that folded their whole delta chain into one
 accumulator and applied it to the root once), ``fused_levels`` (delta
@@ -72,6 +84,9 @@ class IOStats:
     chunks_read: int = 0
     chunks_written: int = 0
     encode_tasks: int = 0
+    encode_plans: int = 0
+    codec_encodes_avoided: int = 0
+    planner_bytes_saved: int = 0
     concurrent_placements: int = 0
     file_opens: int = 0
     ranged_gets: int = 0
@@ -111,6 +126,19 @@ class IOStats:
         read-side counters."""
         with self._lock:
             self.encode_tasks += 1
+
+    def record_encode_plan(self, encodes_avoided: int,
+                           bytes_saved: int) -> None:
+        """Account one chunk encode served by the single-pass planner:
+        ``encodes_avoided`` representations were sized exactly from the
+        shared code plan but never encoded, and ``bytes_saved`` is the
+        total size of those never-produced payloads.  The planner runs
+        inside the encode stage's parallel fan-out, so the counter
+        shares the lock discipline of ``encode_tasks``."""
+        with self._lock:
+            self.encode_plans += 1
+            self.codec_encodes_avoided += encodes_avoided
+            self.planner_bytes_saved += bytes_saved
 
     def record_concurrent_placement(self) -> None:
         """Account one chunk placement dispatched through the commit

@@ -55,6 +55,7 @@ from repro.storage.pipeline import (
     ensure_policy,
     overlap_slices as _overlap_slices,
     resolve_fuse,
+    resolve_planner,
     resolve_workers,
 )
 
@@ -81,12 +82,14 @@ class VersionedStorageManager:
                  backend: "StorageBackend | str | None" = None,
                  workers: int | None = None,
                  prefetch: bool = True,
-                 fuse_chains: bool | None = None):
+                 fuse_chains: bool | None = None,
+                 planner: bool | None = None):
         # Validate configuration before creating any durable state
         # (directories, catalog files, backend objects).
         ensure_policy(delta_policy)
         self.workers = resolve_workers(workers)
         self.fuse_chains = resolve_fuse(fuse_chains)
+        self.planner = resolve_planner(planner)
         self.root = Path(root)
         backend = resolve_backend(backend, self.root / "data")
         if not backend.ephemeral:
@@ -114,7 +117,8 @@ class VersionedStorageManager:
                                       delta_policy=delta_policy,
                                       delta_codec=delta_codec,
                                       cache=self.cache,
-                                      workers=self.workers)
+                                      workers=self.workers,
+                                      planner=self.planner)
         self.decoder = DecodePipeline(self.catalog, self.store,
                                       cache=self.cache,
                                       workers=self.workers,

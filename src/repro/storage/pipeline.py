@@ -43,7 +43,11 @@ from repro.compression.registry import get_codec
 from repro.core import numeric
 from repro.core.array import ArrayData
 from repro.core.errors import NoOverwriteError, StorageError
-from repro.delta.auto import EncodingDecision, choose_encoding
+from repro.delta.auto import (
+    EncodingDecision,
+    choose_encoding,
+    plan_encoding,
+)
 from repro.delta.registry import get_delta_codec
 from repro.storage.chunking import ChunkGrid, ChunkRef
 from repro.storage.chunkstore import ChunkStore
@@ -119,6 +123,29 @@ def resolve_fuse(fuse_chains: bool | None) -> bool:
                 f"REPRO_FUSE must be 0 or 1, got {raw!r}")
         return raw == "1"
     return bool(fuse_chains)
+
+
+def resolve_planner(planner: bool | None) -> bool:
+    """Resolve the single-pass encode-planner knob to a concrete boolean.
+
+    ``None`` defers to the ``REPRO_ENCODE_PLANNER`` environment
+    variable (the CI conformance matrix runs the tier-1 storage suite
+    down both write paths this way); the default is on — the planner
+    picks the same winner and produces the same payload bytes as the
+    exhaustive two-pass :func:`~repro.delta.auto.choose_encoding`, it
+    just computes the delta and its width statistics once and encodes
+    only the winner.  Like :func:`resolve_workers`, malformed values
+    are rejected loudly before any durable state is created: a
+    misconfigured matrix cell silently testing the wrong path would
+    test nothing.
+    """
+    if planner is None:
+        raw = os.environ.get("REPRO_ENCODE_PLANNER", "1")
+        if raw not in ("0", "1"):
+            raise StorageError(
+                f"REPRO_ENCODE_PLANNER must be 0 or 1, got {raw!r}")
+        return raw == "1"
+    return bool(planner)
 
 
 class ChunkCache:
@@ -307,13 +334,15 @@ class EncodePipeline(_PooledStage):
                  delta_policy: str = POLICY_CHAIN,
                  delta_codec: str = "hybrid",
                  cache: ChunkCache | None = None,
-                 workers: int = 0):
+                 workers: int = 0,
+                 planner: bool | None = None):
         ensure_policy(delta_policy)
         self.catalog = catalog
         self.store = store
         self.delta_policy = delta_policy
         self.delta_codec_name = delta_codec
         self.cache = cache if cache is not None else ChunkCache()
+        self.planner = resolve_planner(planner)
         self._init_pool(workers)
 
     @property
@@ -342,14 +371,33 @@ class EncodePipeline(_PooledStage):
     # ------------------------------------------------------------------
     def encode_chunk(self, target: np.ndarray, base: np.ndarray | None,
                      compressor) -> EncodingDecision:
-        """Pick and produce one chunk's representation."""
+        """Pick and produce one chunk's representation.
+
+        With the planner on (the default), the decision comes from the
+        single-pass :func:`~repro.delta.auto.plan_encoding` — one delta,
+        one code array, one set of width statistics, one encode — and
+        the representations it sized but never produced are recorded in
+        the store's counters.  With it off (``REPRO_ENCODE_PLANNER=0``)
+        the exhaustive two-pass :func:`~repro.delta.auto.choose_encoding`
+        runs instead.  Both paths pick the same winner and produce the
+        same payload bytes; the conformance matrix holds the knob fixed
+        per cell and asserts the fingerprints match.
+        """
         if self.delta_policy == POLICY_MATERIALIZE or base is None:
-            return choose_encoding(target, None, compressor=compressor)
-        if self.delta_policy == POLICY_CHAIN:
-            codec = get_delta_codec(self.delta_codec_name)
+            base = None
+            candidates = None
+        elif self.delta_policy == POLICY_CHAIN:
+            candidates = (get_delta_codec(self.delta_codec_name),)
+        else:
+            candidates = None
+        if not self.planner:
             return choose_encoding(target, base, compressor=compressor,
-                                   candidates=(codec,))
-        return choose_encoding(target, base, compressor=compressor)
+                                   candidates=candidates)
+        planned = plan_encoding(target, base, compressor=compressor,
+                                candidates=candidates)
+        self.store.stats.record_encode_plan(planned.encodes_avoided,
+                                            planned.bytes_saved)
+        return planned.decision
 
     def _encode_task(self, task: EncodeTask, data: ArrayData,
                      base_data: ArrayData | None,
