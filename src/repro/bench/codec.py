@@ -3,7 +3,10 @@
 Section III-B.3's D-bit packed deltas are the innermost loop of every
 delta encode and decode, so the bit-packing kernels' throughput bounds
 the CPU-bound ingest and reconstruction profiles.  This experiment
-sweeps a deterministic ``bits`` x ``count`` grid and reports, per cell:
+sweeps a deterministic ``bits`` x ``count`` x ``native`` grid (the
+compiled pack/unpack kernels vs the pure-numpy word kernels, swept
+in-process via :func:`repro.core.native.disabled`; the axis collapses
+to native=0 on hosts without a compiler) and reports, per cell:
 
 * ``pack_mb_per_sec`` / ``unpack_mb_per_sec`` — raw-value throughput
   (uint64 input bytes over the kernel's wall clock, min-of-N);
@@ -24,14 +27,15 @@ below the blocked-kernel threshold.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 from pathlib import Path
 
 import numpy as np
 
-from repro.bench.harness import print_table, timed
-from repro.core import bitpack
+from repro.bench.harness import native_axis, print_table, timed
+from repro.core import bitpack, native
 
 #: Bit widths spanning the fast reinterpret paths (8/16/32/64), both
 #: word-straddling odd widths, and a sub-byte width.
@@ -101,27 +105,39 @@ def run(bits_axis=DEFAULT_BITS, counts=DEFAULT_COUNTS, *,
                     f"word kernel diverged from bit-matrix reference "
                     f"at bits={bits} count={count}")
 
-            pack_s = _best_of(
-                lambda: bitpack.pack_unsigned(values, bits), repeats)
-            unpack_s = _best_of(
-                lambda: bitpack.unpack_unsigned(packed, bits, count),
-                repeats)
-            ref_pack_s = _best_of(
-                lambda: _bit_matrix_pack(values, bits), repeats)
-            ref_unpack_s = _best_of(
-                lambda: _bit_matrix_unpack(packed, bits, count), repeats)
+            for use_native in native_axis():
+                with contextlib.ExitStack() as stack:
+                    if not use_native:
+                        stack.enter_context(native.disabled())
+                    if bitpack.pack_unsigned(values, bits) != packed:
+                        raise AssertionError(
+                            f"native pack diverged at bits={bits} "
+                            f"count={count} native={use_native}")
+                    pack_s = _best_of(
+                        lambda: bitpack.pack_unsigned(values, bits),
+                        repeats)
+                    unpack_s = _best_of(
+                        lambda: bitpack.unpack_unsigned(packed, bits,
+                                                        count),
+                        repeats)
+                    ref_pack_s = _best_of(
+                        lambda: _bit_matrix_pack(values, bits), repeats)
+                    ref_unpack_s = _best_of(
+                        lambda: _bit_matrix_unpack(packed, bits, count),
+                        repeats)
 
-            rows.append({
-                "bits": bits,
-                "count": count,
-                "packed_bytes": len(packed),
-                "raw_mb": raw_mb,
-                "pack_mb_per_sec": raw_mb / pack_s,
-                "unpack_mb_per_sec": raw_mb / unpack_s,
-                "pack_speedup": ref_pack_s / pack_s,
-                "unpack_speedup": ref_unpack_s / unpack_s,
-                "fingerprint": hashlib.sha256(packed).hexdigest(),
-            })
+                rows.append({
+                    "bits": bits,
+                    "count": count,
+                    "native": use_native,
+                    "packed_bytes": len(packed),
+                    "raw_mb": raw_mb,
+                    "pack_mb_per_sec": raw_mb / pack_s,
+                    "unpack_mb_per_sec": raw_mb / unpack_s,
+                    "pack_speedup": ref_pack_s / pack_s,
+                    "unpack_speedup": ref_unpack_s / unpack_s,
+                    "fingerprint": hashlib.sha256(packed).hexdigest(),
+                })
 
     if json_path is not None:
         Path(json_path).write_text(json.dumps(rows, indent=2))
@@ -129,9 +145,9 @@ def run(bits_axis=DEFAULT_BITS, counts=DEFAULT_COUNTS, *,
         print_table(
             "Codec kernels: D-bit pack/unpack throughput (word kernels"
             " vs bit-matrix reference; packed bytes identical)",
-            ["Bits", "Count", "Pack MB/s", "Unpack MB/s",
+            ["Bits", "Count", "Native", "Pack MB/s", "Unpack MB/s",
              "Pack Speedup", "Unpack Speedup"],
-            [[str(row["bits"]), str(row["count"]),
+            [[str(row["bits"]), str(row["count"]), str(row["native"]),
               f"{row['pack_mb_per_sec']:.0f}",
               f"{row['unpack_mb_per_sec']:.0f}",
               f"{row['pack_speedup']:.1f}x",

@@ -42,6 +42,23 @@ def workers_axis(workers=None) -> tuple[int, ...]:
     return tuple(workers)
 
 
+def native_axis() -> tuple[int, ...]:
+    """The compiled-kernel axis an experiment can sweep.
+
+    ``(0, 1)`` when the native kernels compiled on this host — rows
+    are measured once with the kernels force-disabled (the in-process
+    :func:`repro.core.native.disabled` scope, since ``REPRO_NATIVE``
+    is latched per process) and once with them active — and ``(0,)``
+    when no compiler is available, so artifacts never claim a native
+    timing the host could not produce.  The kernels are byte-identical
+    to the numpy fallbacks by contract, so the axis may change
+    wall-clock columns only.
+    """
+    from repro.core import native
+
+    return (0, 1) if native.available() else (0,)
+
+
 def fmt_bytes(count: float) -> str:
     """Human-readable byte count (``1.53 GB`` style, as in the tables)."""
     value = float(count)

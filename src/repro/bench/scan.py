@@ -11,7 +11,10 @@ scatter — and applies it to the root exactly once.
 This experiment measures what that buys on multi-MB chunks (the
 1M-value cells also route the D-bit unpack through the transposed
 block kernel).  The grid is ``chain_depth`` x ``delta_codec`` x
-``backend`` x ``fuse`` and each cell reports:
+``backend`` x ``fuse`` x ``native`` (the compiled decode kernels
+vs the numpy fallbacks, swept in-process via
+:func:`repro.core.native.disabled`; the axis collapses to native=0
+on hosts without a compiler) and each cell reports:
 
 * ``mb_per_sec`` / ``select_seconds`` — logical version bytes over the
   deep select's wall clock (min-of-N, volatile columns);
@@ -19,24 +22,32 @@ block kernel).  The grid is ``chain_depth`` x ``delta_codec`` x
   :class:`IOStats` fused-read counters for one deep select, identity
   columns pinning which decode path the cell actually ran;
 * ``fingerprint`` — the store's SHA-256, byte-identical between the
-  ``fuse=0`` and ``fuse=1`` rows of one (depth, codec, backend) store
-  *by construction* (both rows read the same store; the knob is
+  ``fuse``/``native`` rows of one (depth, codec, backend) store
+  *by construction* (all rows read the same store; both knobs are
   read-only) and stable across runs for the regression gate.
 
-Both fuse settings read the *same* store — the bench toggles
-``manager.decoder.fuse_chains`` between timed passes — so any
-throughput difference is purely the decode path.
+All fuse and native settings read the *same* store — the bench
+toggles ``manager.decoder.fuse_chains`` and the in-process native
+scope between timed passes — so any throughput difference is purely
+the decode path.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
-from repro.bench.harness import backend_axis, print_table, timed
+from repro.bench.harness import (
+    backend_axis,
+    native_axis,
+    print_table,
+    timed,
+)
+from repro.core import native
 from repro.core.schema import ArraySchema
 from repro.storage import VersionedStorageManager
 
@@ -115,34 +126,38 @@ def run(depths=DEFAULT_DEPTHS, codecs=DEFAULT_CODECS, *,
                     results = {}
                     for fuse in (0, 1):
                         manager.decoder.fuse_chains = bool(fuse)
-                        got = manager.select(ARRAY, depth)
-                        results[fuse] = got.attribute("value").tobytes()
-                        with manager.stats.measure() as window:
-                            manager.select(ARRAY, depth)
-                        seconds = _time_select(manager, depth, repeats)
-                        rows.append({
-                            "backend": backend,
-                            "delta_codec": codec,
-                            "chain_depth": depth,
-                            "fuse": fuse,
-                            "chains_fused": window.chains_fused,
-                            "fused_levels": window.fused_levels,
-                            "scatter_levels": window.scatter_levels,
-                            "select_seconds": seconds,
-                            "mb_per_sec": logical_mb / seconds,
-                            "fingerprint": fingerprint,
-                        })
-                    if results[0] != results[1]:
-                        raise AssertionError(
-                            f"fused select diverged from stepwise at "
-                            f"backend={backend} codec={codec} "
-                            f"depth={depth}")
+                        for use_native in native_axis():
+                            with contextlib.ExitStack() as stack:
+                                if not use_native:
+                                    stack.enter_context(
+                                        native.disabled())
+                                got = manager.select(ARRAY, depth)
+                                results[(fuse, use_native)] = \
+                                    got.attribute("value").tobytes()
+                                with manager.stats.measure() as window:
+                                    manager.select(ARRAY, depth)
+                                seconds = _time_select(manager, depth,
+                                                       repeats)
+                            rows.append({
+                                "backend": backend,
+                                "delta_codec": codec,
+                                "chain_depth": depth,
+                                "fuse": fuse,
+                                "native": use_native,
+                                "chains_fused": window.chains_fused,
+                                "fused_levels": window.fused_levels,
+                                "scatter_levels": window.scatter_levels,
+                                "select_seconds": seconds,
+                                "mb_per_sec": logical_mb / seconds,
+                                "fingerprint": fingerprint,
+                            })
                     expected = np.ascontiguousarray(versions[-1])
-                    if results[1] != expected.tobytes():
-                        raise AssertionError(
-                            f"select returned wrong bytes at "
-                            f"backend={backend} codec={codec} "
-                            f"depth={depth}")
+                    for key, got_bytes in results.items():
+                        if got_bytes != expected.tobytes():
+                            raise AssertionError(
+                                f"select returned wrong bytes at "
+                                f"backend={backend} codec={codec} "
+                                f"depth={depth} (fuse, native)={key}")
                     manager.close()
 
     if json_path is not None:
@@ -151,19 +166,20 @@ def run(depths=DEFAULT_DEPTHS, codecs=DEFAULT_CODECS, *,
         speedups = {}
         for row in rows:
             key = (row["backend"], row["delta_codec"],
-                   row["chain_depth"])
+                   row["chain_depth"], row["native"])
             speedups.setdefault(key, {})[row["fuse"]] = \
                 row["mb_per_sec"]
         print_table(
             "Scan throughput: deep-chain select, fused vs stepwise"
             " decode (byte-identical results; one store per cell)",
-            ["Backend", "Codec", "Depth", "Fuse", "MB/s",
+            ["Backend", "Codec", "Depth", "Fuse", "Native", "MB/s",
              "Scatter Lvls", "Speedup"],
             [[row["backend"], row["delta_codec"],
               str(row["chain_depth"]), str(row["fuse"]),
+              str(row["native"]),
               f"{row['mb_per_sec']:.0f}",
               str(row["scatter_levels"]),
-              (f"{row['mb_per_sec'] / speedups[(row['backend'], row['delta_codec'], row['chain_depth'])][0]:.1f}x"
+              (f"{row['mb_per_sec'] / speedups[(row['backend'], row['delta_codec'], row['chain_depth'], row['native'])][0]:.1f}x"
                if row["fuse"] else "1.0x")]
              for row in rows])
     return rows

@@ -33,6 +33,16 @@ class Codec(ABC):
     def decode(self, data: bytes) -> np.ndarray:
         """Recover the exact original array from :meth:`encode` output."""
 
+    def decode_view(self, data: bytes) -> np.ndarray:
+        """Like :meth:`decode`, but the result may be a *read-only*
+        view over ``data`` when the codec can decode without copying.
+
+        Callers must treat the result as immutable and must not assume
+        it owns its buffer; anything else should call :meth:`decode`.
+        The default simply decodes.
+        """
+        return self.decode(data)
+
     def ratio(self, array: np.ndarray) -> float:
         """Convenience: compressed bytes / raw bytes for an array."""
         raw = max(1, np.asarray(array).nbytes)
@@ -58,9 +68,14 @@ class IdentityCodec(Codec):
         return pack_array_header(array.dtype, array.shape) + array.tobytes()
 
     def decode(self, data: bytes) -> np.ndarray:
+        return self.decode_view(data).copy()
+
+    def decode_view(self, data: bytes) -> np.ndarray:
+        # The raw-bytes codec can decode without any copy: the result
+        # is a read-only reshape of the payload buffer itself.
         from repro.core.serial import unpack_array_header
 
         dtype, shape, offset = unpack_array_header(data)
         count = int(np.prod(shape)) if shape else 1
         flat = np.frombuffer(data, dtype=dtype, count=count, offset=offset)
-        return flat.reshape(shape).copy()
+        return flat.reshape(shape)

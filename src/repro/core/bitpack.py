@@ -331,6 +331,13 @@ def unpack_unsigned(data, bits: int, count: int) -> np.ndarray:
         # though np.frombuffer returns a read-only view.
         return np.frombuffer(data, dtype=fast).astype(np.uint64)
 
+    # The compiled carry-register kernel covers every remaining width
+    # in one streaming pass when available; the numpy kernels below
+    # are the byte-identical fallback.
+    values = native.unpack_bits(data, bits, count)
+    if values is not None:
+        return values
+
     if bits <= _MATMUL_BITS:
         return _unpack_bits_matmul(data, bits, count, needed)
     mask = np.uint64(0xFFFFFFFFFFFFFFFF) if bits == MAX_BITS \
@@ -435,6 +442,9 @@ def zigzag_encode(values: np.ndarray) -> np.ndarray:
 def zigzag_decode(codes: np.ndarray) -> np.ndarray:
     """Inverse of :func:`zigzag_encode`."""
     codes = np.ascontiguousarray(codes, dtype=np.uint64)
+    decoded = native.zigzag_decode(codes)
+    if decoded is not None:
+        return decoded.reshape(codes.shape)
     return ((codes >> np.uint64(1)).view(np.int64)
             ^ -(codes & np.uint64(1)).view(np.int64))
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import native
 from repro.core.errors import CodecError, DeltaShapeMismatchError
 
 ARITHMETIC = "arith"
@@ -76,13 +77,38 @@ def compute_delta(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, str]:
 
 
 def apply_delta_forward(base: np.ndarray, delta: np.ndarray,
-                        mode: str, dtype: np.dtype) -> np.ndarray:
-    """Recover ``a`` from ``b`` (= ``base``) and ``delta = diff(a, b)``."""
+                        mode: str, dtype: np.dtype, *,
+                        reuse_delta: bool = False) -> np.ndarray:
+    """Recover ``a`` from ``b`` (= ``base``) and ``delta = diff(a, b)``.
+
+    ``reuse_delta=True`` declares that the caller owns ``delta`` and
+    never reads it again, so the apply may run in place on its buffer
+    (the fused chain path hands over its composed accumulator this
+    way: the apply then allocates nothing, and the compiled add kernel
+    takes it when the layout fits).  The returned bytes are identical
+    either way.
+    """
     dtype = np.dtype(dtype)
     if mode == ARITHMETIC:
-        with np.errstate(over="ignore"):
-            result = base.astype(np.int64, copy=False) + delta
-        return _wrap_to(result, dtype)
+        base64 = base.astype(np.int64, copy=False)
+        if reuse_delta and isinstance(delta, np.ndarray) \
+                and delta.dtype == np.int64 and delta.flags.writeable:
+            # Contiguity first: reshape(-1) of a non-contiguous array
+            # would hand the kernel a *copy* to write into.
+            if not (base64.shape == delta.shape
+                    and base64.flags.c_contiguous
+                    and delta.flags.c_contiguous
+                    and native.apply_add64(base64.reshape(-1),
+                                           delta.reshape(-1))):
+                with np.errstate(over="ignore"):
+                    np.add(base64, delta, out=delta)
+            result = delta
+        else:
+            with np.errstate(over="ignore"):
+                result = base64 + delta
+        # ``result`` is freshly allocated or caller-ceded either way,
+        # so the no-op wrap (dtype already int64) can skip its copy.
+        return _wrap_to(result, dtype, copy=False)
     if mode == XOR:
         bits = _bits_of(base) ^ delta.astype(np.uint64, copy=False)
         return _bits_to_float(bits, dtype)
@@ -100,7 +126,7 @@ def apply_delta_backward(derived: np.ndarray, delta: np.ndarray,
     if mode == ARITHMETIC:
         with np.errstate(over="ignore"):
             result = derived.astype(np.int64, copy=False) - delta
-        return _wrap_to(result, dtype)
+        return _wrap_to(result, dtype, copy=False)
     if mode == XOR:
         # XOR is an involution: forward and backward application coincide.
         return apply_delta_forward(derived, delta, mode, dtype)
@@ -133,6 +159,48 @@ def delta_accumulator(mode: str, count: int) -> np.ndarray:
     return np.zeros(count, dtype=accumulator_dtype(mode))
 
 
+def seeded_accumulator(base: np.ndarray, mode: str) -> np.ndarray:
+    """A fused-chain accumulator pre-loaded with ``base``'s cells.
+
+    For chains whose every level scatters, seeding the accumulator
+    with the widened root means the O(nnz) scatters land directly on
+    the reconstructed cells — the final full-array apply (and the
+    zeroed canvas it needs) disappears entirely.  Exact because a
+    scatter into ``root + 0`` is the same wrapping-add/xor group as
+    ``root + (0 + delta)``.  Finish with :func:`finalize_seeded`.
+    """
+    if mode == ARITHMETIC:
+        if (base.dtype == np.int64 and base.flags.c_contiguous
+                and not base.flags.aligned):
+            # Zero-copy roots are views into a framed payload whose
+            # header skews 8-byte alignment; element-wise astype of a
+            # misaligned source is slow, a byte-level copy is not.
+            return base.reshape(-1).view(np.uint8).copy().view(np.int64)
+        with np.errstate(over="ignore"):
+            return base.astype(np.int64).reshape(-1)
+    if mode == XOR:
+        return _bits_of(base).reshape(-1)
+    raise CodecError(f"unknown delta mode {mode!r}")
+
+
+def finalize_seeded(accumulator: np.ndarray, mode: str,
+                    dtype: np.dtype, shape: tuple[int, ...]
+                    ) -> np.ndarray:
+    """The reconstructed version held by a seeded accumulator.
+
+    The inverse widening of :func:`seeded_accumulator`: wrap (or
+    reinterpret) the 64-bit cells back into the attribute dtype.  The
+    accumulator is consumed — for 64-bit dtypes the result shares its
+    buffer.
+    """
+    if mode == ARITHMETIC:
+        return _wrap_to(accumulator.reshape(shape), np.dtype(dtype),
+                        copy=False)
+    if mode == XOR:
+        return _bits_to_float(accumulator.reshape(shape), dtype)
+    raise CodecError(f"unknown delta mode {mode!r}")
+
+
 def accumulate_delta(accumulator: np.ndarray, delta: np.ndarray,
                      mode: str) -> None:
     """Fold one dense level delta into ``accumulator`` in place.
@@ -159,15 +227,49 @@ def scatter_delta(accumulator: np.ndarray, positions: np.ndarray,
 
     Positions within one level are unique (they come from a
     ``flatnonzero`` over that level's codes), so fancy-indexed in-place
-    ops are exact — no ``ufunc.at`` needed.
+    ops are exact — no ``ufunc.at`` needed.  The compiled scatter
+    kernel takes the call when the layout fits; being a sequential
+    loop it is additionally exact under duplicates, which only
+    :func:`scatter_delta_batch` relies on.
     """
     if mode == ARITHMETIC:
+        if native.scatter_add(accumulator, positions, delta):
+            return
         with np.errstate(over="ignore"):
             accumulator[positions] += delta
     elif mode == XOR:
+        if native.scatter_xor(accumulator, positions, delta):
+            return
         accumulator[positions] ^= delta
     else:
         raise CodecError(f"unknown delta mode {mode!r}")
+
+
+def scatter_delta_batch(accumulator: np.ndarray,
+                        parts: list[tuple[np.ndarray, np.ndarray]],
+                        mode: str) -> None:
+    """Fold several scatter levels — ``(positions, delta)`` pairs, one
+    per level — into ``accumulator`` in place.
+
+    Positions may repeat *across* levels (the same cell touched at
+    several chain depths), so the concatenated pair list is only
+    handed to the compiled kernel, whose sequential loop accumulates
+    duplicates exactly like consecutive per-level scatters.  Without
+    the kernel each level scatters separately — numpy fancy indexing
+    would silently drop duplicate contributions if batched.  Both
+    orders compose the same values (wrapping add and xor are
+    associative and commutative), so the result is byte-identical.
+    """
+    if len(parts) > 1 and native.available():
+        positions = np.concatenate([index for index, _ in parts])
+        delta = np.concatenate([delta for _, delta in parts])
+        scattered = native.scatter_add(accumulator, positions, delta) \
+            if mode == ARITHMETIC \
+            else native.scatter_xor(accumulator, positions, delta)
+        if scattered:
+            return
+    for positions, delta in parts:
+        scatter_delta(accumulator, positions, delta, mode)
 
 
 def _bits_of(values: np.ndarray) -> np.ndarray:
@@ -180,13 +282,24 @@ def _bits_of(values: np.ndarray) -> np.ndarray:
 
 
 def _bits_to_float(bits: np.ndarray, dtype: np.dtype) -> np.ndarray:
-    """Inverse of :func:`_bits_of`."""
+    """Inverse of :func:`_bits_of`.
+
+    ``bits`` is always a freshly-computed xor image here, so the
+    already-64-bit case may reinterpret it in place instead of
+    copying.
+    """
     uint_dtype = _FLOAT_TO_UINT[np.dtype(dtype)]
-    narrowed = bits.astype(uint_dtype)
+    narrowed = bits.astype(uint_dtype, copy=False)
     return narrowed.view(dtype)
 
 
-def _wrap_to(values_int64: np.ndarray, dtype: np.dtype) -> np.ndarray:
-    """Wrap int64 arithmetic results back into a narrower integer dtype."""
+def _wrap_to(values_int64: np.ndarray, dtype: np.dtype, *,
+             copy: bool = True) -> np.ndarray:
+    """Wrap int64 arithmetic results back into a narrower integer dtype.
+
+    ``copy=False`` lets an already-int64 result pass through untouched;
+    callers use it only on buffers they own (a narrower dtype always
+    allocates regardless).
+    """
     with np.errstate(over="ignore"):
-        return values_int64.astype(dtype)
+        return values_int64.astype(dtype, copy=copy)

@@ -25,6 +25,22 @@ Two implementations of that decision live here:
   winner's, fed the already-computed codes.  Same winner, same size,
   same payload bytes as the two-pass form — only the wasted encodes are
   gone.
+
+The planner additionally supports **delta-of-delta re-base**: when the
+insert path has the base version's chain state (the decoded root plus
+the chain's composed-but-unapplied accumulator, a :class:`RebaseState`
+produced by the decode pipeline) instead of a reconstructed canvas,
+:meth:`CodePlan.build_rebased` plans the new version's codes directly
+from that state.  Both delta modes compose associatively and
+commutatively — wrapping int64 addition and xor — so the base canvas
+is never materialized: ``codes = zigzag(target - root - acc)`` for
+arithmetic cells (one fused native pass for int64) and
+``codes = bits(target) ^ bits(root) ^ acc`` for floats.  The contract
+is byte identity with :meth:`CodePlan.build` over the canvas the state
+denotes — same codes, same statistics, same winner, same payload — and
+every candidate offered a rebased plan must be ``plan_sufficient``
+(it sizes and encodes from the shared arrays, never ``plan.base``,
+which a rebased plan does not carry).
 """
 
 from __future__ import annotations
@@ -36,6 +52,7 @@ import numpy as np
 
 from repro.compression.base import Codec, IdentityCodec
 from repro.core import native, numeric
+from repro.core.errors import CodecError
 from repro.core.serial import pack_array_header
 from repro.delta.base import DeltaCodec
 from repro.delta.codes import CodeStats, codes_to_delta, delta_to_codes
@@ -70,6 +87,24 @@ class EncodingDecision:
 
 
 @dataclass(frozen=True)
+class RebaseState:
+    """One chunk's base version as chain-walk state instead of canvas.
+
+    ``root`` is the decoded materialized root (possibly a zero-copy
+    read-only view — never written through), ``accumulator`` the
+    chain's composed-but-unapplied delta (flat int64 for ARITHMETIC,
+    uint64 for XOR; None when the base *is* the root and no deltas sit
+    above it), and ``mode`` the compose mode.  Produced by
+    ``DecodePipeline.chain_state``; consumed by
+    :meth:`CodePlan.build_rebased`.
+    """
+
+    root: np.ndarray
+    accumulator: np.ndarray | None
+    mode: str
+
+
+@dataclass(frozen=True)
 class CodePlan:
     """The shared single-pass state of one chunk's encode.
 
@@ -86,7 +121,9 @@ class CodePlan:
     """
 
     target: np.ndarray
-    base: np.ndarray
+    #: The base canvas — None for plans built by delta-of-delta
+    #: re-base, which only plan-sufficient codecs may consume.
+    base: np.ndarray | None
     mode: str
     codes: np.ndarray
     stats: CodeStats
@@ -110,6 +147,68 @@ class CodePlan:
                    stats=CodeStats.from_codes(codes))
         # Seed the lazy property: this path already paid for the delta.
         plan.__dict__["delta"] = delta
+        return plan
+
+    @classmethod
+    def build_rebased(cls, target: np.ndarray,
+                      state: RebaseState) -> "CodePlan":
+        """Plan ``target`` against a base given as chain state, without
+        reconstructing the base canvas (delta-of-delta re-base).
+
+        The base the state denotes is ``wrap(root + acc)`` cell-wise,
+        so the new codes fall out of one fused pass:
+        ``zigzag(target - root - acc)`` mod 2**64 for arithmetic cells
+        (a single native kernel when the cells are int64; for narrower
+        dtypes the parent is canonicalized through the attribute dtype
+        — wrap, then re-widen — exactly the value a stepwise apply
+        would have stored) and ``bits(target) ^ bits(root) ^ acc`` for
+        floats, where xor needs no canonicalization.  Byte-identical
+        to ``build(target, base_canvas)``: same codes, same width
+        statistics, hence the same candidate sizes and winner.  The
+        returned plan carries ``base=None`` — only plan-sufficient
+        codecs may size or encode from it.
+        """
+        accumulator = state.accumulator
+        if accumulator is None:
+            return cls.build(target, state.root)
+        root = state.root
+        numeric.check_same_layout(target, root)
+        mode = numeric.delta_mode_for(target.dtype)
+        if mode != state.mode:
+            raise CodecError(
+                f"rebase state mode {state.mode!r} does not match "
+                f"target dtype {target.dtype} (mode {mode!r})")
+        if mode == numeric.ARITHMETIC:
+            if target.dtype == np.int64:
+                fused = native.rebase_zigzag_stats(
+                    np.ascontiguousarray(target).reshape(-1),
+                    np.ascontiguousarray(root).reshape(-1),
+                    accumulator)
+                if fused is not None:
+                    codes, counts = fused
+                    return cls(target=target, base=None, mode=mode,
+                               codes=codes,
+                               stats=CodeStats.from_width_counts(
+                                   codes.size, counts))
+            with np.errstate(over="ignore"):
+                parent64 = (root.astype(np.int64, copy=False).reshape(-1)
+                            + accumulator)
+                # Canonicalize through the attribute dtype: wrap, then
+                # re-widen — the exact cell values a stepwise apply
+                # would have stored (identity for int64).
+                parent64 = parent64.astype(target.dtype) \
+                                   .astype(np.int64)
+                delta = (target.astype(np.int64, copy=False).reshape(-1)
+                         - parent64)
+        else:
+            # XOR folds bit patterns; the low float-width bits are
+            # closed under xor, so no canonicalization is needed.
+            folded, _ = numeric.compute_delta(target, root)
+            delta = folded.reshape(-1) ^ accumulator
+        codes = delta_to_codes(delta, mode)
+        plan = cls(target=target, base=None, mode=mode, codes=codes,
+                   stats=CodeStats.from_codes(codes))
+        plan.__dict__["delta"] = delta.reshape(target.shape)
         return plan
 
     @cached_property
@@ -204,6 +303,7 @@ def materialized_size(target: np.ndarray, compressor: Codec
 def plan_encoding(target: np.ndarray, base: np.ndarray | None,
                   compressor: Codec | None = None,
                   candidates: tuple[DeltaCodec, ...] | None = None,
+                  *, rebase: RebaseState | None = None
                   ) -> PlannedEncoding:
     """Pick the cheapest representation of ``target`` in a single pass.
 
@@ -216,10 +316,17 @@ def plan_encoding(target: np.ndarray, base: np.ndarray | None,
     encoded exactly once and their parts cached for the win case; and
     the materialized form is sized analytically under the identity
     compressor, so when a delta wins its payload is never produced.
+
+    ``rebase`` supplies the base as chain state instead of ``base``
+    (pass exactly one): the plan comes from
+    :meth:`CodePlan.build_rebased`, so the base canvas is never
+    reconstructed, and every candidate must be ``plan_sufficient``.
+    The decision is byte-identical to planning against the canvas the
+    state denotes.
     """
     compressor = compressor or IdentityCodec()
     mat_size, mat_payload = materialized_size(target, compressor)
-    if base is None:
+    if base is None and rebase is None:
         if mat_payload is None:
             mat_payload = compressor.encode(target)
         decision = EncodingDecision(delta_codec=None, size=mat_size,
@@ -227,7 +334,20 @@ def plan_encoding(target: np.ndarray, base: np.ndarray | None,
         return PlannedEncoding(decision=decision, encodes_avoided=0,
                                bytes_saved=0)
 
-    plan = CodePlan.build(target, base)
+    if rebase is not None:
+        if base is not None:
+            raise CodecError(
+                "plan_encoding takes a base canvas or a rebase state, "
+                "not both")
+        offered = candidates or default_delta_candidates()
+        for codec in offered:
+            if not codec.plan_sufficient:
+                raise CodecError(
+                    f"delta codec {codec.name!r} is not plan-sufficient; "
+                    "it cannot be offered a rebased plan (no base canvas)")
+        plan = CodePlan.build_rebased(target, rebase)
+    else:
+        plan = CodePlan.build(target, base)
     best_codec: DeltaCodec | None = None
     best_size = mat_size
     best_parts: list[bytes] | None = None

@@ -49,6 +49,12 @@ class DeltaCodec(ABC):
     #: Whether :meth:`accumulate` folds at O(nnz) via scatter rather
     #: than a full dense pass (sparse/hybrid; observability only).
     scatters: bool = False
+    #: Whether :meth:`plan_size` and :meth:`encode_from_plan` consume
+    #: only the plan's shared arrays (target, codes, stats, mode) and
+    #: never ``plan.base``.  Plans built by delta-of-delta re-base
+    #: carry no base canvas at all, so only plan-sufficient codecs may
+    #: be offered one.
+    plan_sufficient: bool = False
 
     # ------------------------------------------------------------------
     # Framing helpers shared by implementations
@@ -103,7 +109,8 @@ class DeltaCodec(ABC):
             f"delta codec {self.name!r} is directional; "
             "the base cannot be reconstructed from the target")
 
-    def accumulate(self, data: bytes, accumulator: np.ndarray | None
+    def accumulate(self, data: bytes, accumulator: np.ndarray | None,
+                   batch: list | None = None
                    ) -> tuple[np.ndarray, str, np.dtype, tuple[int, ...]]:
         """Fold this delta's codes into a fused-chain accumulator.
 
@@ -111,7 +118,9 @@ class DeltaCodec(ABC):
         a fresh accumulator.  Only meaningful for ``composable``
         codecs — the decode pipeline calls it once per level and
         applies the folded delta to the materialized root in a single
-        pass.
+        pass.  Scattering codecs append their (positions, delta)
+        pairs to ``batch`` instead of scattering when it is given, so
+        the pipeline can issue one batched scatter per chain.
         """
         raise CodecError(
             f"delta codec {self.name!r} does not compose; "

@@ -350,14 +350,19 @@ def decode_sparse(data, offset: int, count: int
 
 
 def decode_sparse_into(data, offset: int, count: int,
-                       accumulator: np.ndarray, mode: str) -> int:
+                       accumulator: np.ndarray, mode: str,
+                       batch: list | None = None) -> int:
     """Fold a sparse section into a fused-chain accumulator.
 
     The fused read path's replacement for :func:`decode_sparse`: the
     ``(positions, values)`` pairs scatter-accumulate straight into
     ``accumulator`` — no full-size ``codes`` canvas is ever allocated,
-    so a level that changed n cells costs O(n), not O(count).  Returns
-    the next offset.
+    so a level that changed n cells costs O(n), not O(count).  With
+    ``batch`` given, the decoded (bounds-checked) pairs are appended
+    to it instead of scattered, so the caller can fold every scatter
+    level of a chain in one batched call
+    (:func:`repro.core.numeric.scatter_delta_batch`).  Returns the
+    next offset.
     """
     data = _view(data)
     nonzero, offset = unpack_i64(data, offset)
@@ -373,8 +378,11 @@ def decode_sparse_into(data, offset: int, count: int,
     offset += values_len
     index = _checked_positions(positions, count, "sparse delta")
     if index.size:
-        numeric.scatter_delta(accumulator, index,
-                              codes_to_delta(values, mode), mode)
+        if batch is not None:
+            batch.append((index, codes_to_delta(values, mode)))
+        else:
+            numeric.scatter_delta(accumulator, index,
+                                  codes_to_delta(values, mode), mode)
     return offset
 
 
@@ -534,14 +542,17 @@ def decode_hybrid(data, offset: int, count: int
 
 
 def decode_hybrid_into(data, offset: int, count: int,
-                       accumulator: np.ndarray, mode: str) -> int:
+                       accumulator: np.ndarray, mode: str,
+                       batch: list | None = None) -> int:
     """Fold a hybrid section into a fused-chain accumulator.
 
     The small-code array stores code 0 (delta 0, the compose identity)
     at every outlier position, so accumulating the dense part and then
     scatter-accumulating the outliers composes exactly under both
     modes.  A 0-bit small width (every code an outlier, or an all-zero
-    level) skips the dense pass entirely.  Returns the next offset.
+    level) skips the dense pass entirely.  With ``batch`` given the
+    outlier pairs are deferred to the caller's batched scatter exactly
+    as in :func:`decode_sparse_into`.  Returns the next offset.
     """
     data = _view(data)
     small_bits, offset = unpack_u8(data, offset)
@@ -567,6 +578,9 @@ def decode_hybrid_into(data, offset: int, count: int,
 
     index = _checked_positions(positions, count, "hybrid delta outlier")
     if index.size:
-        numeric.scatter_delta(accumulator, index,
-                              codes_to_delta(values, mode), mode)
+        if batch is not None:
+            batch.append((index, codes_to_delta(values, mode)))
+        else:
+            numeric.scatter_delta(accumulator, index,
+                                  codes_to_delta(values, mode), mode)
     return offset

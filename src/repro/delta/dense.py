@@ -22,6 +22,7 @@ class DenseDeltaCodec(DeltaCodec):
     name = "dense"
     bidirectional = True
     composable = True
+    plan_sufficient = True
 
     def encode_parts(self, target: np.ndarray,
                      base: np.ndarray) -> list[bytes]:
@@ -45,7 +46,7 @@ class DenseDeltaCodec(DeltaCodec):
                 "trailing bytes")
         return codes, mode, dtype, shape
 
-    def accumulate(self, data, accumulator):
+    def accumulate(self, data, accumulator, batch=None):
         data = memoryview(data)
         dtype, shape, mode, offset = self._unframe(data)
         count = int(np.prod(shape)) if shape else 1

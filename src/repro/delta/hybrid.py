@@ -29,6 +29,7 @@ class HybridDeltaCodec(DeltaCodec):
     bidirectional = True
     composable = True
     scatters = True
+    plan_sufficient = True
 
     def __init__(self, lz: bool = False):
         self.lz = lz
@@ -50,7 +51,7 @@ class HybridDeltaCodec(DeltaCodec):
     def encode(self, target: np.ndarray, base: np.ndarray) -> bytes:
         return b"".join(self.encode_parts(target, base))
 
-    def accumulate(self, data, accumulator):
+    def accumulate(self, data, accumulator, batch=None):
         data = memoryview(data)
         dtype, shape, mode, offset = self._unframe(data)
         lz_flag, offset = unpack_u8(data, offset)
@@ -61,7 +62,8 @@ class HybridDeltaCodec(DeltaCodec):
         accumulator = code_store.ensure_accumulator(accumulator, mode,
                                                     count)
         end = code_store.decode_hybrid_into(payload, 0, count,
-                                            accumulator, mode)
+                                            accumulator, mode,
+                                            batch=batch)
         if end != len(payload):
             raise CodecError(
                 f"hybrid delta payload has {len(payload) - end} "

@@ -23,6 +23,7 @@ class SparseDeltaCodec(DeltaCodec):
     bidirectional = True
     composable = True
     scatters = True
+    plan_sufficient = True
 
     def encode_parts(self, target: np.ndarray,
                      base: np.ndarray) -> list[bytes]:
@@ -46,14 +47,15 @@ class SparseDeltaCodec(DeltaCodec):
                 "trailing bytes")
         return codes, mode, dtype, shape
 
-    def accumulate(self, data, accumulator):
+    def accumulate(self, data, accumulator, batch=None):
         data = memoryview(data)
         dtype, shape, mode, offset = self._unframe(data)
         count = int(np.prod(shape)) if shape else 1
         accumulator = code_store.ensure_accumulator(accumulator, mode,
                                                     count)
         end = code_store.decode_sparse_into(data, offset, count,
-                                            accumulator, mode)
+                                            accumulator, mode,
+                                            batch=batch)
         if end != len(data):
             raise CodecError(
                 f"sparse delta payload has {len(data) - end} undecoded "

@@ -632,23 +632,57 @@ class VersionedStorageManager:
                        version_row: VersionRecord | None = None,
                        merge_parents: list[tuple[str, int]] | None = None
                        ) -> None:
-        """Reconstruct the base (when the policy deltas) and run the
-        encode pipeline for one version."""
+        """Resolve the base (when the policy deltas) and run the encode
+        pipeline for one version.
+
+        The base is resolved cheapest-first: the hot-version slot (the
+        data is already in hand), then delta-of-delta re-base (the
+        parent's chain state stands in for its canvas — the parent is
+        never reconstructed), then a full :meth:`select`.  All three
+        produce byte-identical stored bytes.
+        """
         base_data: ArrayData | None = None
+        rebase_states: dict | None = None
         if base_version is not None and self.encoder.wants_base:
             hot = self._hot_version
             if hot is not None and hot[0] == record.name \
                     and hot[1] == base_version:
                 base_data = hot[2]
             else:
-                base_data = self.select(record.name, base_version)
+                rebase_states = self._chain_states(record, base_version)
+                if rebase_states is None:
+                    base_data = self.select(record.name, base_version)
         self.encoder.write_version(record, self.grid_for(record), version,
                                    data, base_data=base_data,
                                    base_version=base_version,
+                                   rebase_states=rebase_states,
                                    replace=replace, workers=workers,
                                    version_row=version_row,
                                    merge_parents=merge_parents)
         self._hot_version = (record.name, version, data)
+
+    def _chain_states(self, record: ArrayRecord, base_version: int
+                      ) -> dict | None:
+        """Chain-walk states for every (attribute, chunk) of a base
+        version — the delta-of-delta re-base input for inserts whose
+        parent canvas is not hot.  Returns None when the fast path is
+        unavailable (planner off, materialize policy, a candidate that
+        needs the base canvas, a non-composable chain level, or a
+        cache-enabled pipeline) — the caller falls back to a full
+        select."""
+        if not self.encoder.can_rebase:
+            return None
+        grid = self.grid_for(record)
+        states: dict = {}
+        for attr in record.schema.attributes:
+            for chunk in grid.chunks():
+                state = self.decoder.chain_state(record, base_version,
+                                                 attr.name, chunk)
+                if state is None:
+                    return None
+                states[(attr.name, chunk.name)] = state
+        self.stats.record_encode_rebase(len(states))
+        return states
 
     def _reconstruct_chunk(self, record: ArrayRecord, version: int,
                            attribute: str, chunk: ChunkRef,

@@ -26,6 +26,23 @@ makes the stages first-class:
 The pipelines own *how* versions are encoded and decoded;
 ``VersionedStorageManager`` shrinks to orchestration — catalog
 bookkeeping, version lineage, and layout re-organization.
+
+Two invariants both pipelines are built around:
+
+* **Byte identity across acceleration.**  Every fast path — the fused
+  chain decode, the O(nnz) scatter composition, the delta-of-delta
+  re-base (:meth:`DecodePipeline.chain_state` feeding
+  ``write_version(rebase_states=...)``), and the compiled kernels in
+  :mod:`repro.core.native` — must produce exactly the bytes of the
+  plain numpy, level-by-level path.  Store fingerprints may never
+  depend on ``REPRO_NATIVE``, ``REPRO_FUSE``, worker count, or which
+  base-resolution path an insert happened to take.
+* **Graceful fallback.**  Each fast path gates itself on dtype,
+  layout, codec composability, and configuration (e.g. re-base is
+  skipped whenever the chunk cache is enabled, because reconstructing
+  the parent is what populates the cache) and returns ``None``/raises
+  nothing when it does not apply; the caller falls back to the slower
+  exact path silently.
 """
 
 from __future__ import annotations
@@ -45,7 +62,9 @@ from repro.core.array import ArrayData
 from repro.core.errors import NoOverwriteError, StorageError
 from repro.delta.auto import (
     EncodingDecision,
+    RebaseState,
     choose_encoding,
+    default_delta_candidates,
     plan_encoding,
 )
 from repro.delta.registry import get_delta_codec
@@ -351,6 +370,28 @@ class EncodePipeline(_PooledStage):
         reconstructing before encoding)."""
         return self.delta_policy != POLICY_MATERIALIZE
 
+    @property
+    def can_rebase(self) -> bool:
+        """Whether inserts may delta against chain state instead of a
+        reconstructed base canvas (delta-of-delta re-base).
+
+        Requires the single-pass planner — the two-pass oracle encodes
+        every candidate from the base canvas — and candidates that size
+        and encode purely from the shared plan (``plan_sufficient``),
+        since a rebased plan carries no base canvas.  The stored bytes
+        are byte-identical either way; only the parent reconstruction
+        disappears.
+        """
+        if not self.planner:
+            return False
+        if self.delta_policy == POLICY_CHAIN:
+            candidates: tuple = (get_delta_codec(self.delta_codec_name),)
+        elif self.delta_policy == POLICY_AUTO:
+            candidates = default_delta_candidates()
+        else:
+            return False
+        return all(codec.plan_sufficient for codec in candidates)
+
     # ------------------------------------------------------------------
     # Stage 1: plan
     # ------------------------------------------------------------------
@@ -370,7 +411,9 @@ class EncodePipeline(_PooledStage):
     # Stage 2: encode
     # ------------------------------------------------------------------
     def encode_chunk(self, target: np.ndarray, base: np.ndarray | None,
-                     compressor) -> EncodingDecision:
+                     compressor, *,
+                     rebase: RebaseState | None = None
+                     ) -> EncodingDecision:
         """Pick and produce one chunk's representation.
 
         With the planner on (the default), the decision comes from the
@@ -382,9 +425,15 @@ class EncodePipeline(_PooledStage):
         runs instead.  Both paths pick the same winner and produce the
         same payload bytes; the conformance matrix holds the knob fixed
         per cell and asserts the fingerprints match.
+
+        ``rebase`` supplies the base as chain state instead of a canvas
+        (delta-of-delta re-base); callers are gated on
+        :attr:`can_rebase`, which implies the planner is on.
         """
-        if self.delta_policy == POLICY_MATERIALIZE or base is None:
+        if self.delta_policy == POLICY_MATERIALIZE or \
+                (base is None and rebase is None):
             base = None
+            rebase = None
             candidates = None
         elif self.delta_policy == POLICY_CHAIN:
             candidates = (get_delta_codec(self.delta_codec_name),)
@@ -394,26 +443,32 @@ class EncodePipeline(_PooledStage):
             return choose_encoding(target, base, compressor=compressor,
                                    candidates=candidates)
         planned = plan_encoding(target, base, compressor=compressor,
-                                candidates=candidates)
+                                candidates=candidates, rebase=rebase)
         self.store.stats.record_encode_plan(planned.encodes_avoided,
                                             planned.bytes_saved)
         return planned.decision
 
     def _encode_task(self, task: EncodeTask, data: ArrayData,
                      base_data: ArrayData | None,
+                     rebase_states: dict | None,
                      compressor) -> EncodingDecision:
         target = np.ascontiguousarray(
             data.attribute(task.attribute)[task.chunk.slices()])
         base = None
-        if base_data is not None:
+        rebase = None
+        if rebase_states is not None:
+            rebase = rebase_states[(task.attribute, task.chunk.name)]
+        elif base_data is not None:
             base = np.ascontiguousarray(
                 base_data.attribute(task.attribute)[task.chunk.slices()])
-        decision = self.encode_chunk(target, base, compressor)
+        decision = self.encode_chunk(target, base, compressor,
+                                     rebase=rebase)
         self.store.stats.record_encode_task()
         return decision
 
     def _encode_tasks(self, tasks: list[EncodeTask], data: ArrayData,
-                      base_data: ArrayData | None, compressor,
+                      base_data: ArrayData | None,
+                      rebase_states: dict | None, compressor,
                       workers: int):
         """Yield each task's :class:`EncodingDecision` in task order.
 
@@ -433,7 +488,7 @@ class EncodePipeline(_PooledStage):
 
             def encode_block(block: list[EncodeTask]):
                 return [self._encode_task(task, data, base_data,
-                                          compressor)
+                                          rebase_states, compressor)
                         for task in block]
 
             pending = (tasks[i:i + step]
@@ -449,7 +504,7 @@ class EncodePipeline(_PooledStage):
         else:
             for task in tasks:
                 yield self._encode_task(task, data, base_data,
-                                        compressor)
+                                        rebase_states, compressor)
 
     # ------------------------------------------------------------------
     # Stage 3: commit
@@ -457,6 +512,7 @@ class EncodePipeline(_PooledStage):
     def _place_tasks(self, record: ArrayRecord, version: int,
                      tasks: list[EncodeTask], data: ArrayData,
                      base_data: ArrayData | None,
+                     rebase_states: dict | None,
                      base_version: int | None, compressor,
                      degree: int):
         """Encode and place every task, yielding :class:`ChunkRecord`
@@ -477,6 +533,7 @@ class EncodePipeline(_PooledStage):
         and versions are committed one at a time.
         """
         decisions = zip(tasks, self._encode_tasks(tasks, data, base_data,
+                                                  rebase_states,
                                                   compressor, degree))
 
         def chunk_record(task: EncodeTask, decision: EncodingDecision,
@@ -521,6 +578,7 @@ class EncodePipeline(_PooledStage):
                       version: int, data: ArrayData, *,
                       base_data: ArrayData | None,
                       base_version: int | None,
+                      rebase_states: dict | None = None,
                       replace: bool = False,
                       workers: int | None = None,
                       version_row: VersionRecord | None = None,
@@ -530,7 +588,12 @@ class EncodePipeline(_PooledStage):
 
         ``workers`` overrides the pipeline's configured encode
         parallelism for this call; the stored bytes are identical either
-        way.  The version's catalog rows — and, when ``version_row`` is
+        way.  ``rebase_states`` — a ``(attribute, chunk_name)`` →
+        :class:`~repro.delta.auto.RebaseState` mapping — supplies the
+        base version as per-chunk chain state instead of ``base_data``
+        (delta-of-delta re-base; gated on :attr:`can_rebase`); the
+        stored bytes are byte-identical to encoding against the
+        reconstructed canvas.  The version's catalog rows — and, when ``version_row`` is
         given, the version row itself — are committed in **one**
         transaction (:meth:`MetadataCatalog.put_chunks`) after every
         payload is placed, so a mid-encode or mid-write failure leaves
@@ -553,7 +616,8 @@ class EncodePipeline(_PooledStage):
         degree = self._effective_workers(workers)
         tasks = self.plan_version(record, grid)
         records = list(self._place_tasks(record, version, tasks, data,
-                                         base_data, base_version,
+                                         base_data, rebase_states,
+                                         base_version,
                                          compressor, degree))
         # Durability barrier, then the transaction: the catalog must
         # never name bytes that would not survive a crash.  On the
@@ -675,13 +739,21 @@ class DecodePipeline(_PooledStage):
             [chunk_record.location for chunk_record in chain])
 
         # Stage 3: decompress the materialized root (or start from the
-        # already-resolved version the chain stopped at).
+        # already-resolved version the chain stopped at).  A fused
+        # read only ever *reads* the root (the apply writes into the
+        # accumulator), so with the cache off the decompress may hand
+        # back a zero-copy read-only view of the payload bytes; every
+        # other consumer gets the owning copy it always got.
         resolved: list[int] = []
         if cursor is not None:
             data = scope[cursor]
         else:
             root = chain.pop()
-            data = get_codec(root.compressor).decode(payloads.pop())
+            codec = get_codec(root.compressor)
+            if self._fusible(chain) and not self.cache.enabled:
+                data = codec.decode_view(payloads.pop())
+            else:
+                data = codec.decode(payloads.pop())
             scope[root.version] = data
             resolved.append(root.version)
 
@@ -740,20 +812,94 @@ class DecodePipeline(_PooledStage):
         Compose order is irrelevant — both modes are associative *and*
         commutative (wrapping int64 addition, xor) — so levels fold in
         read order.  Sparse/hybrid levels scatter-accumulate at O(nnz)
-        without ever materializing a full-size codes canvas.
+        without ever materializing a full-size codes canvas; their
+        (position, delta) pairs are collected across the whole chain —
+        the levels read together as one ``read_many`` span batch — and
+        folded in a single batched scatter, then the accumulator is
+        ceded to the apply so the final pass runs in place.
         """
-        accumulator = None
+        codecs = [get_delta_codec(chunk_record.delta_codec)
+                  for chunk_record in chain]
+        # Scatter-only chains skip the full-array apply entirely: the
+        # accumulator starts as the widened root, so the batched
+        # O(nnz) scatter lands directly on the reconstructed cells.
+        seeded = all(codec.scatters for codec in codecs)
+        accumulator = numeric.seeded_accumulator(
+            base, numeric.delta_mode_for(base.dtype)) if seeded \
+            else None
         scatter_levels = 0
         mode = dtype = shape = None
-        for chunk_record, payload in zip(chain, payloads):
-            codec = get_delta_codec(chunk_record.delta_codec)
+        batch: list = []
+        for codec, payload in zip(codecs, payloads):
             accumulator, mode, dtype, shape = codec.accumulate(
-                payload, accumulator)
+                payload, accumulator, batch=batch)
             if codec.scatters:
                 scatter_levels += 1
+        if batch:
+            numeric.scatter_delta_batch(accumulator, batch, mode)
         self.store.stats.record_chain_fused(len(chain), scatter_levels)
+        if seeded:
+            return numeric.finalize_seeded(accumulator, mode, dtype,
+                                           shape)
         return numeric.apply_delta_forward(
-            base, accumulator.reshape(shape), mode, dtype)
+            base, accumulator.reshape(shape), mode, dtype,
+            reuse_delta=True)
+
+    def chain_state(self, record: ArrayRecord, version: int,
+                    attribute: str, chunk: ChunkRef
+                    ) -> RebaseState | None:
+        """Locate, read, and *compose* one chunk's delta chain without
+        the final apply — the encode-side counterpart of the fused
+        read, feeding delta-of-delta re-base.
+
+        Returns the chunk's state as a
+        :class:`~repro.delta.auto.RebaseState` — the decoded root plus
+        the chain's composed accumulator (None for a materialized
+        version with no deltas above the root) — or None when the
+        state cannot stand in for the canvas: a non-composable level
+        in the chain, or a cache-enabled pipeline (bypassing
+        :meth:`reconstruct` would skip the admissions the cache
+        contract promises).  The root may be a zero-copy read-only
+        view of the payload bytes; callers must not write through it.
+        """
+        if self.cache.enabled:
+            return None
+        chain: list[ChunkRecord] = []
+        cursor: int | None = version
+        seen: set[int] = set()
+        while cursor is not None:
+            if cursor in seen:
+                raise StorageError(
+                    f"delta cycle detected for {record.name!r} "
+                    f"chunk {chunk.name} at version {cursor}")
+            seen.add(cursor)
+            chunk_record = self.catalog.get_chunk(
+                record.array_id, cursor, attribute, chunk.name)
+            chain.append(chunk_record)
+            cursor = chunk_record.base_version
+        root_record = chain[-1]
+        if any(chunk_record.delta_codec is None
+               or not get_delta_codec(chunk_record.delta_codec).composable
+               for chunk_record in chain[:-1]):
+            return None
+        payloads = self.store.read_chunks(
+            [chunk_record.location for chunk_record in chain])
+        chain.pop()
+        root = get_codec(root_record.compressor) \
+            .decode_view(payloads.pop())
+        if not chain:
+            return RebaseState(root=root, accumulator=None,
+                               mode=numeric.delta_mode_for(root.dtype))
+        accumulator = None
+        mode = None
+        batch: list = []
+        for chunk_record, payload in zip(chain, payloads):
+            codec = get_delta_codec(chunk_record.delta_codec)
+            accumulator, mode, _, _ = codec.accumulate(
+                payload, accumulator, batch=batch)
+        if batch:
+            numeric.scatter_delta_batch(accumulator, batch, mode)
+        return RebaseState(root=root, accumulator=accumulator, mode=mode)
 
     # ------------------------------------------------------------------
     # Stage 5: assembly
@@ -769,14 +915,22 @@ class DecodePipeline(_PooledStage):
         """
         tasks = [(attr, chunk) for attr in record.schema.attributes
                  for chunk in grid.chunks()]
-        attributes = {
-            attr.name: np.empty(record.schema.shape, dtype=attr.dtype)
-            for attr in record.schema.attributes
-        }
+        attributes: dict[str, np.ndarray] = {}
         for (attr, chunk), data in self._reconstruct_tasks(
                 record, version, tasks,
                 self._effective_workers(workers)):
-            attributes[attr.name][chunk.slices()] = data
+            if data.shape == record.schema.shape:
+                # A single chunk spanning the whole canvas *is* the
+                # canvas: skip the copy.  ArrayData marks every buffer
+                # read-only regardless, so the contents are exactly as
+                # immutable as the copied canvas was.
+                attributes[attr.name] = data
+                continue
+            canvas = attributes.get(attr.name)
+            if canvas is None:
+                canvas = attributes[attr.name] = np.empty(
+                    record.schema.shape, dtype=attr.dtype)
+            canvas[chunk.slices()] = data
         return ArrayData(record.schema, attributes)
 
     def read_region(self, record: ArrayRecord, grid: ChunkGrid,
