@@ -1,16 +1,20 @@
-"""Experiment C1 — replicated cluster: failover reads + resharding.
+"""Experiment C1 — replicated cluster: failover reads, repair,
+resharding.
 
 The sweep runs the (nodes x replication) grid — unreplicated baseline,
 the production R=2 shape, full triplication — each cell ingesting the
-same deterministic dataset, reading it back through a killed node, and
-resharding onto one more node.  Wall-clock columns are hardware-
-dependent and asserted nowhere; what must hold everywhere is the
-replication contract: one *logical* cluster fingerprint across every
-cell and across every reshard, reads that survive a dead host exactly
-when a quorum exists (failing loudly when it does not), failovers
-counted exactly when they happened, and exact replica-write
-accounting.  The rows land in ``BENCH_cluster.json`` (uploaded as a CI
-artifact and gated against the committed copy like the other
+same deterministic dataset, reading it back through a killed node,
+resyncing a blank replacement replica from its peers, and resharding
+onto one more node while a reader thread keeps selecting.  Wall-clock
+columns are hardware-dependent and asserted nowhere; what must hold
+everywhere is the replication contract: one *logical* cluster
+fingerprint across every cell and across every reshard, reads that
+survive a dead host exactly when a quorum exists (failing loudly when
+it does not), failovers counted exactly when they happened, exact
+replica-write accounting, and exact repair accounting (the replaced
+copy replays exactly the band's versions, R=1 cells have no peer and
+skip the scenario).  The rows land in ``BENCH_cluster.json`` (uploaded
+as a CI artifact and gated against the committed copy like the other
 fingerprint artifacts).
 """
 
@@ -32,11 +36,22 @@ def bench_cluster_failover(run_once):
             # No quorum: the killed node's band is gone and the reads
             # say so loudly instead of serving partial data.
             assert not row["killed_read_ok"]
+            # ... and no peer exists to repair a replacement from.
+            assert row["repair_seconds"] is None
+            assert row["repaired_versions"] is None
         else:
             # A surviving quorum serves every read, and the failovers
             # are counted exactly (one per read touching a dead copy).
             assert row["killed_read_ok"]
             assert row["killed_failovers"] >= row["versions"]
+            # Exact repair accounting: the blank replacement replayed
+            # exactly its band's versions, at a measurable rate.
+            assert row["repaired_versions"] == row["versions"]
+            assert row["repair_bytes"] > 0
+            assert row["repair_mb_per_sec"] > 0
+        # The online rebalance kept serving: the concurrent reader
+        # observed at least one select, and its p50 is a real latency.
+        assert row["rebalance_read_p50_ms"] > 0
         # Exact replication accounting: every version landed one
         # redundant copy per extra replica per band.
         assert row["replica_writes"] == \

@@ -13,9 +13,17 @@ replication exists for:
   ``replication=1`` the reads fail loudly (no quorum), with
   ``replication>=2`` every read lands on the surviving copies, with
   the failover count reported alongside the degraded-mode wall clock;
-* **rebalance** — the cluster reshards onto ``nodes+1`` and the row
-  records the migrated-chunk count and whether the logical cluster
-  fingerprint stayed byte-identical (it must).
+* **repair-while-serving** — for replicated cells, band 0's primary is
+  swapped for blank hardware (``replace_replica``) and resynced from
+  its live peers (``repair``): the row records the resync wall clock
+  and MB/s alongside the exact ``repaired_versions`` / ``repair_bytes``
+  accounting, all while the cluster keeps serving reads from the
+  surviving copies;
+* **rebalance** — the cluster reshards onto ``nodes+1`` *online*,
+  with a reader thread hammering selects the whole time: the row
+  records the migrated-chunk count, the read p50 observed during the
+  migration (the "online" in online rebalance), and whether the
+  logical cluster fingerprint stayed byte-identical (it must).
 
 Wall-clock columns are hardware-dependent and asserted nowhere.  What
 must hold in every cell: **one fingerprint** — the logical SHA-256
@@ -31,6 +39,7 @@ from __future__ import annotations
 
 import json
 import tempfile
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -100,11 +109,50 @@ def run(versions: int = 6, shape: tuple[int, ...] = (96, 64),
             killed_failovers = cluster.stats.failovers - failovers_before
             cluster.revive_node(0)
 
+            # Repair-while-serving: swap band 0's primary for blank
+            # hardware, resync it from its live peers.  Unreplicated
+            # cells have no peer to repair from, so they skip the
+            # scenario (None columns).
+            repair_seconds = None
+            repair_mb_per_sec = None
+            repaired_versions = None
+            repair_bytes = None
+            if replication >= 2:
+                cluster.replace_replica(0, 0)
+                with timed() as clock:
+                    report = cluster.repair(0, 0)
+                cluster.revive(0, 0)
+                repair_seconds = clock.seconds
+                repaired_versions = report["versions"]
+                repair_bytes = report["bytes"]
+                repair_mb_per_sec = \
+                    report["bytes"] / repair_seconds / 2**20
+
             fingerprint = cluster.fingerprint(ARRAY)
             if reference is None:
                 reference = fingerprint
+            # Online rebalance with a concurrent reader: the latencies
+            # it observes while the migration runs are the cost (or
+            # not) of serving through a reshard.
+            latencies: list[float] = []
+            stop = threading.Event()
+
+            def read_during_rebalance():
+                while True:
+                    with timed() as probe:
+                        cluster.select(ARRAY, versions)
+                    latencies.append(probe.seconds)
+                    if stop.is_set():
+                        break
+
+            reader = threading.Thread(target=read_during_rebalance)
             with timed() as clock:
-                migrated = cluster.rebalance(nodes + 1)
+                reader.start()
+                try:
+                    migrated = cluster.rebalance(nodes + 1)
+                finally:
+                    stop.set()
+                    reader.join()
             rebalance_seconds = clock.seconds
             rows.append({
                 "backend": backend,
@@ -117,8 +165,14 @@ def run(versions: int = 6, shape: tuple[int, ...] = (96, 64),
                 "killed_read_ok": killed_read_ok,
                 "killed_read_seconds": killed_read_seconds,
                 "killed_failovers": killed_failovers,
+                "repair_seconds": repair_seconds,
+                "repair_mb_per_sec": repair_mb_per_sec,
+                "repaired_versions": repaired_versions,
+                "repair_bytes": repair_bytes,
                 "migrated_chunks": migrated,
                 "rebalance_seconds": rebalance_seconds,
+                "rebalance_read_p50_ms":
+                    float(np.median(latencies)) * 1e3,
                 "replica_writes": cluster.stats.replica_writes,
                 "fingerprint": fingerprint,
                 "identical_after_rebalance":
@@ -135,14 +189,18 @@ def run(versions: int = 6, shape: tuple[int, ...] = (96, 64),
             " onto a new node count (one logical fingerprint in every"
             " cell)",
             ["Nodes", "Repl", "Versions/s", "Read s", "Kill-1 Read",
-             "Failovers", "Migrated", "Identical"],
+             "Failovers", "Repair MB/s", "Migrated", "Mid-move p50 ms",
+             "Identical"],
             [[str(row["nodes"]), str(row["replication"]),
               f"{row['versions_per_sec']:.2f}",
               f"{row['read_seconds']:.3f}",
               f"{row['killed_read_seconds']:.3f}"
               if row["killed_read_ok"] else "FAILS (no quorum)",
               str(row["killed_failovers"]),
+              f"{row['repair_mb_per_sec']:.1f}"
+              if row["repair_mb_per_sec"] is not None else "n/a (R=1)",
               str(row["migrated_chunks"]),
+              f"{row['rebalance_read_p50_ms']:.2f}",
               "yes" if row["identical_to_reference"]
               and row["identical_after_rebalance"] else "NO"]
              for row in rows])

@@ -30,7 +30,8 @@ VOLATILE_COLUMNS = frozenset({
     "select_seconds", "ingest_seconds", "versions_per_sec",
     "mb_per_sec", "seconds", "identical_to_serial",
     "insert_seconds", "read_seconds", "killed_read_seconds",
-    "rebalance_seconds",
+    "rebalance_seconds", "repair_seconds", "repair_mb_per_sec",
+    "rebalance_read_p50_ms",
 })
 
 #: The column the gate compares.

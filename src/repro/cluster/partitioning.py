@@ -123,12 +123,28 @@ class RangePartitioner:
 class MigrationSlab:
     """One contiguous slab moving between partitionings during a
     rebalance: global rows ``lo..hi`` (inclusive, along the partition
-    axis) leave old band ``source`` for new band ``target``."""
+    axis) leave old band ``source`` for new band ``target``.
+
+    An online rebalance replays every slab once per catch-up pass, so
+    a malformed slab (an inverted range, a negative band index) would
+    corrupt *every* pass rather than one copy; the invariants are
+    therefore validated at construction, not at use.
+    """
 
     source: int
     target: int
     lo: int
     hi: int
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.target < 0:
+            raise StorageError(
+                f"migration slab bands must be non-negative, got "
+                f"source={self.source} target={self.target}")
+        if self.lo < 0 or self.hi < self.lo:
+            raise StorageError(
+                f"migration slab range must satisfy 0 <= lo <= hi, "
+                f"got lo={self.lo} hi={self.hi}")
 
     @property
     def length(self) -> int:

@@ -249,6 +249,60 @@ class ChunkStore:
         if self.placement == PER_VERSION:
             self.backend.delete(f"{array}/v{version}")
 
+    @staticmethod
+    def repack_target(path: str) -> str:
+        """The object path a repack of ``path`` rewrites into.
+
+        Repack must never overwrite an object the catalog still
+        references (a mid-repack fault would destroy co-located
+        payloads of *other* versions), so each pass writes a sibling
+        object with a bumped ``@r<n>`` suffix — ``c0-0`` → ``c0-0@r1``
+        → ``c0-0@r2`` — and the old object is reclaimed only after the
+        catalog has swapped to the new one.  The suffix sits after the
+        final path component, so a prefix delete of the old object can
+        never touch its successor (backend deletes match only at ``/``
+        boundaries).
+        """
+        base, gen = ChunkStore._split_generation(path)
+        return f"{base}@r{gen + 1}"
+
+    @staticmethod
+    def _split_generation(path: str) -> tuple[str, int]:
+        """Split an object path into its base name and repack
+        generation (``c.dat@r2`` → ``("c.dat", 2)``; an unsuffixed
+        path is generation 0)."""
+        head, _, name = path.rpartition("/")
+        base, marker, gen = name.rpartition("@r")
+        if marker and gen.isdigit():
+            name, generation = base, int(gen)
+        else:
+            generation = 0
+        return (f"{head}/{name}" if head else name), generation
+
+    @staticmethod
+    def _repack_targets(by_path) -> dict[str, str]:
+        """Collision-free rewrite targets for one repack batch.
+
+        Live payloads can span several generations of the same object
+        name (a post-repack write recreates the base path), so the
+        naive per-path bump would aim one group's target at another
+        group's *source* — truncating live bytes mid-repack, the exact
+        corruption the swap scheme exists to prevent.  Every target is
+        therefore assigned above the highest generation present in the
+        batch, in deterministic (sorted-path) order, so targets collide
+        with neither sources nor each other.
+        """
+        ceiling: dict[str, int] = {}
+        for path in by_path:
+            base, generation = ChunkStore._split_generation(path)
+            ceiling[base] = max(ceiling.get(base, 0), generation)
+        targets: dict[str, str] = {}
+        for path in sorted(by_path):
+            base, _ = ChunkStore._split_generation(path)
+            ceiling[base] += 1
+            targets[path] = f"{base}@r{ceiling[base]}"
+        return targets
+
     def repack(self, array: str,
                keep: list[tuple[ChunkLocation, object]]
                ) -> dict[object, ChunkLocation]:
@@ -257,26 +311,49 @@ class ChunkStore:
         ``keep`` pairs each surviving location with an opaque key; the
         returned mapping gives each key's new location.  Used after
         version deletion and by layout re-organization.
+
+        Swap, don't overwrite: every rewritten blob lands at a *new*
+        object path (:meth:`repack_target`) and is made durable before
+        this method returns, so the caller can swap the catalog to the
+        new locations in one transaction and only then reclaim the old
+        objects (:meth:`reclaim`).  A fault at any point before that
+        commit leaves the old objects and the catalog untouched — at
+        worst an orphaned half-written sibling that the next successful
+        pass supersedes.
         """
         by_path: dict[str, list[tuple[ChunkLocation, object]]] = {}
         for location, key in keep:
             by_path.setdefault(location.path, []).append((location, key))
+        targets = self._repack_targets(by_path)
 
         new_locations: dict[object, ChunkLocation] = {}
+        new_paths: list[str] = []
         for path, entries in by_path.items():
             survivors = self.read_chunks([location for location, _ in
                                           entries])
+            target = targets[path]
             blob = bytearray()
             for (_, key), payload in zip(entries, survivors):
                 offset = len(blob)
                 blob += payload
-                new_locations[key] = ChunkLocation(path, offset,
+                new_locations[key] = ChunkLocation(target, offset,
                                                    len(payload))
                 self.stats.record_write(len(payload))
-            self.backend.write(path, bytes(blob))
+            self.backend.write(target, bytes(blob))
             self.stats.record_open()
-        self.backend.sync(list(by_path), max_workers=self.max_workers)
+            new_paths.append(target)
+        self.backend.sync(new_paths, max_workers=self.max_workers)
         return new_locations
+
+    def reclaim(self, paths: list[str] | set[str]) -> None:
+        """Delete superseded objects after a repack's catalog swap.
+
+        Strictly post-commit space reclamation: by the time this runs
+        the catalog no longer references ``paths``, so a fault here
+        leaks bytes (reclaimed by a later pass) but can never corrupt.
+        """
+        for path in sorted(set(paths)):
+            self.backend.delete(path)
 
     def total_bytes(self, array: str | None = None) -> int:
         """Bytes stored under one array (or the whole store)."""

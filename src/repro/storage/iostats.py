@@ -69,6 +69,16 @@ counts chunk placements performed by ``rebalance`` while resharding
 the cluster onto a new node count.  The chaos suite asserts *exact*
 values for all three, so they share the lock discipline of the
 byte-level counters.
+
+Anti-entropy repair adds three more cluster counters: ``repairs``
+(repair passes that actually resynced at least one version onto a
+stale or empty replica), ``repaired_versions`` (versions replayed
+through the transactional write path during those passes), and
+``repair_bytes`` (logical payload bytes those replays carried — the
+numerator of the stale-replica resync MB/s the cluster bench
+reports).  Repair under chaos retries until the replica digests
+converge, so the counters accumulate across attempts; the fault-free
+tests assert exact values.
 """
 
 from __future__ import annotations
@@ -103,6 +113,9 @@ class IOStats:
     failovers: int = 0
     replica_writes: int = 0
     migrated_chunks: int = 0
+    repairs: int = 0
+    repaired_versions: int = 0
+    repair_bytes: int = 0
 
     def __post_init__(self):
         # Not a dataclass field, so reset/snapshot/delta_since (which
@@ -215,6 +228,18 @@ class IOStats:
         the cluster onto a new node count (``rebalance``)."""
         with self._lock:
             self.migrated_chunks += count
+
+    def record_repair(self, versions: int, nbytes: int) -> None:
+        """Account one anti-entropy repair pass that replayed
+        ``versions`` versions carrying ``nbytes`` logical payload bytes
+        onto a stale or empty replica.  Repair under fault injection
+        retries until the digests converge, so increments accumulate
+        across attempts; only passes that resynced at least one version
+        are recorded."""
+        with self._lock:
+            self.repairs += 1
+            self.repaired_versions += versions
+            self.repair_bytes += nbytes
 
     def record_cache_miss(self) -> None:
         """Account one chunk-cache miss."""

@@ -328,6 +328,45 @@ class VersionedStorageManager:
             raise
         return merged
 
+    def replay_version(self, name: str,
+                       payload: Payload | ArrayData | np.ndarray, *,
+                       version: int,
+                       kind: str = "insert",
+                       parent_version: int | None = None,
+                       timestamp: float | None = None,
+                       merge_parents: list[tuple[str, int]] | None = None,
+                       workers: int | None = None) -> int:
+        """Re-create one version with an explicit lineage row.
+
+        The resync primitive behind anti-entropy repair and the
+        rebalance catch-up loop: unlike :meth:`insert` it preserves the
+        *source* version's kind (``insert`` / ``branch-root`` /
+        ``merge``), parent link, merge parents, and timestamp, so a
+        replica rebuilt version-by-version answers lineage queries
+        identically to the copy it was rebuilt from.  Replay is
+        append-only — ``version`` must be exactly one past this
+        array's latest — and runs through the same transactional write
+        path as a fresh insert (chunk placement, durability barrier,
+        then version row + chunk rows in one catalog transaction).
+        """
+        if kind not in ("insert", "branch-root", "merge"):
+            raise StorageError(f"unknown version kind {kind!r}")
+        record = self.catalog.get_array(name)
+        latest = self.catalog.latest_version(record.array_id) or 0
+        if version != latest + 1:
+            raise StorageError(
+                f"replay_version is append-only: array {name!r} is at "
+                f"version {latest}, cannot replay version {version}")
+        data = self._normalize_payload(record, payload)
+        self._write_version(
+            record, version, data,
+            base_version=parent_version, workers=workers,
+            version_row=VersionRecord(
+                record.array_id, version, parent_version, kind,
+                self._now() if timestamp is None else timestamp),
+            merge_parents=list(merge_parents) if merge_parents else None)
+        return version
+
     def delete_version(self, name: str, version: int, *,
                        reclaim: bool = True) -> None:
         """Remove one version, re-encoding any versions delta'ed on it.
@@ -531,6 +570,57 @@ class VersionedStorageManager:
                 digest.update(self.store.read_chunk(chunk.location))
         return digest.hexdigest()
 
+    def version_digests(self, name: str) -> list[tuple[int, str]]:
+        """Per-version *logical* digests for replica comparison.
+
+        Each digest is SHA-256 over the version's lineage row —
+        (version, parent_version, kind, merge parents) — and its fully
+        reassembled payload bytes per attribute, in schema order.  Two
+        things the physical :meth:`fingerprint` covers are deliberately
+        excluded: **timestamps** (every replica stamps its own logical
+        clock, so byte-identical contents carry different timestamps)
+        and **placement** (paths, offsets, delta bases — replicas may
+        legitimately diverge in layout after ``reorganize`` or a repack
+        while holding identical contents).  Anti-entropy repair
+        compares these lists between replicas: a stale copy shows up as
+        a strict prefix of its peer's list, a diverged one as a
+        mismatching entry.
+        """
+        record = self.catalog.get_array(name)
+        digests: list[tuple[int, str]] = []
+        for row in self.catalog.get_versions(record.array_id):
+            digest = hashlib.sha256()
+            parents = self.catalog.merge_parents_of(record.array_id,
+                                                    row.version)
+            digest.update(repr((name, row.version, row.parent_version,
+                                row.kind, parents)).encode())
+            data = self.select(name, row.version)
+            for attr in record.schema.attributes:
+                digest.update(np.ascontiguousarray(
+                    data.attribute(attr.name)).tobytes())
+            digests.append((row.version, digest.hexdigest()))
+        return digests
+
+    def logical_digest(self, name: str | None = None) -> str:
+        """SHA-256 over schemas, lineage rows, and reassembled payload
+        bytes — the replica-equality observable behind anti-entropy
+        repair and verified revive.  Equal logical digests mean two
+        copies answer every select and lineage query identically, even
+        when their physical layouts (and therefore their
+        :meth:`fingerprint` values) differ.  Covers one array, or every
+        array when ``name`` is None.
+        """
+        digest = hashlib.sha256()
+        names = [name] if name is not None else self.list_arrays()
+        for array_name in names:
+            record = self.catalog.get_array(array_name)
+            digest.update(repr((array_name, record.schema.to_dict(),
+                                record.parent_array,
+                                record.parent_version)).encode())
+            for _, version_digest in self.version_digests(array_name):
+                digest.update(version_digest.encode())
+        return digest.hexdigest()
+
     def grid_for(self, record: ArrayRecord) -> ChunkGrid:
         """The chunk grid shared by every version of an array."""
         return ChunkGrid(record.schema.shape, record.schema.cell_size,
@@ -693,7 +783,17 @@ class VersionedStorageManager:
                                         cache)
 
     def _repack(self, record: ArrayRecord) -> None:
-        """Rewrite co-located chunk objects keeping only live payloads."""
+        """Rewrite co-located chunk objects keeping only live payloads.
+
+        Swap, don't overwrite: the surviving payloads are rewritten to
+        *new* objects and made durable first, then every rewritten row
+        swaps to them in one catalog transaction, and only after that
+        commit are the superseded objects reclaimed.  A fault anywhere
+        before the commit leaves the catalog and the old objects
+        untouched (the half-written siblings are unreferenced debris a
+        later pass supersedes); a fault during reclaim leaks bytes but
+        can never corrupt.
+        """
         if self.store.placement != COLOCATED:
             return
         live = self.catalog.all_chunks(record.array_id)
@@ -715,6 +815,9 @@ class VersionedStorageManager:
             location=new_locations[(chunk.version, chunk.attribute,
                                     chunk.chunk_name)],
         ) for chunk in live])
+        retained = {location.path for location in new_locations.values()}
+        self.store.reclaim({location.path for location, _ in keep}
+                           - retained)
 
     def _now(self) -> float:
         # A strictly increasing logical clock keeps catalog timestamps

@@ -236,6 +236,182 @@ class TestChaosSweep:
             cluster.close()
 
 
+class TestRepairChaos:
+    """Anti-entropy repair under injected faults and mid-repair
+    deaths: the one-fingerprint invariant must hold under every
+    schedule, and every retry loop must terminate."""
+
+    @pytest.mark.parametrize("nodes,replication",
+                             [cell for cell in GRID if cell[1] >= 2])
+    @pytest.mark.parametrize("seed", _seeds())
+    def test_replacement_resync_under_faults(
+            self, tmp_path, reference_fingerprint, nodes, replication,
+            seed):
+        """A blank replacement repaired through faulty substrates ends
+        byte-identical to its peers — the fault-free fingerprint, from
+        the repaired copy alone."""
+        cluster = ClusterCoordinator(
+            tmp_path / "cluster", nodes=nodes, replication=replication,
+            chunk_bytes=512, backend=_fault_factory(seed))
+        try:
+            _workload(cluster)
+            versions_total = sum(len(cluster.get_versions(name))
+                                 for name in cluster.list_arrays())
+            cluster.replace_replica(0, 0)
+            report = _retry(lambda: cluster.repair(0, 0))
+            # Retries replay only what is still missing, but the sum
+            # over all attempts covers exactly the band's versions.
+            assert report["versions"] <= versions_total
+            assert cluster.stats.repaired_versions == versions_total
+            assert cluster.stats.repairs >= 1
+            _retry(lambda: cluster.revive(0, 0))
+            for replica in range(1, replication):
+                cluster.mark_dead(0, replica)
+            assert cluster.fingerprint() == reference_fingerprint
+            _assert_no_partial_versions(cluster)
+        finally:
+            cluster.close()
+
+    def test_peer_dies_mid_repair(self, tmp_path,
+                                  reference_fingerprint):
+        """The serving peer goes dark *during* the resync; repair
+        fails over to the remaining replica and still converges to
+        the fault-free fingerprint."""
+        cluster = ClusterCoordinator(
+            tmp_path / "cluster", nodes=3, replication=3,
+            chunk_bytes=512, backend=_fault_factory(0))
+        try:
+            _workload(cluster)
+            target = cluster.replace_replica(0, 0)
+            original = target.replay_version
+            state = {"replayed": 0}
+
+            def dies_after_first(*args, **kwargs):
+                state["replayed"] += 1
+                if state["replayed"] == 2:
+                    # The first peer (the digest/read source so far)
+                    # goes dark mid-resync.
+                    cluster.replicas[0][1].backend.mark_dead()
+                return original(*args, **kwargs)
+
+            target.replay_version = dies_after_first
+            report = cluster.repair(0, 0)
+            assert report["versions"] == sum(
+                len(cluster.get_versions(name))
+                for name in cluster.list_arrays())
+            assert cluster.stats.failovers > 0
+            # The repaired copy serves the band alone.
+            cluster.mark_dead(0, 1)
+            cluster.revive(0, 0)
+            cluster.mark_dead(0, 2)
+            assert cluster.fingerprint() == reference_fingerprint
+            _assert_no_partial_versions(cluster)
+        finally:
+            cluster.close()
+
+
+class TestRebalanceChaos:
+    """Online rebalance under mid-migration deaths and concurrent
+    writes."""
+
+    def test_copy_dies_mid_rebalance(self, tmp_path,
+                                     reference_fingerprint):
+        """A band copy's substrate dies while its slabs migrate; the
+        migration reads fail over to the surviving replica and the
+        reshard still lands the fault-free fingerprint."""
+        cluster = ClusterCoordinator(
+            tmp_path / "cluster", nodes=3, replication=2,
+            chunk_bytes=512, backend=_fault_factory(0))
+        try:
+            _workload(cluster)
+            original = cluster._migrate_version
+            state = {"calls": 0}
+
+            def kill_then_migrate(*args, **kwargs):
+                state["calls"] += 1
+                if state["calls"] == 2:
+                    cluster.replicas[0][0].backend.mark_dead()
+                return original(*args, **kwargs)
+
+            cluster._migrate_version = kill_then_migrate
+            migrated = cluster.rebalance(4, seed=3)
+            assert cluster.nodes == 4
+            assert migrated > 0
+            assert cluster.stats.migrated_chunks == migrated
+            assert cluster.stats.failovers > 0
+            assert cluster.fingerprint() == reference_fingerprint
+            _assert_no_partial_versions(cluster)
+        finally:
+            cluster.close()
+
+    def test_writes_during_rebalance_are_caught_up(self, tmp_path):
+        """A version inserted *between* catch-up passes (the build is
+        outside the write lock, so this is legal) must appear in the
+        new generation — the copy-then-catch-up loop's whole point."""
+        cluster = ClusterCoordinator(
+            tmp_path / "cluster", nodes=2, replication=2,
+            chunk_bytes=512, backend="memory")
+        try:
+            heads = _workload(cluster)
+            late = heads["A"] + 77
+            original = cluster._sync_generation
+            state = {"fired": False}
+
+            def insert_between_passes(fresh, seed):
+                changed = original(fresh, seed)
+                if not state["fired"]:
+                    state["fired"] = True
+                    # Fires after the *initial* (unlocked) pass only:
+                    # an insert during the final locked pass would be
+                    # the deadlock the write lock exists to prevent.
+                    cluster.insert("A", late)
+                return changed
+
+            cluster._sync_generation = insert_between_passes
+            cluster.rebalance(3, seed=1)
+            assert state["fired"]
+            assert cluster.nodes == 3
+            assert cluster.get_versions("A") == [1, 2, 3, 4]
+            np.testing.assert_array_equal(
+                cluster.select("A", 4).single(), late)
+            _assert_no_partial_versions(cluster)
+            # The caught-up cluster equals one that took the same
+            # writes with no rebalance at all.
+            mirror = ClusterCoordinator(
+                tmp_path / "mirror", nodes=3, chunk_bytes=512,
+                backend="memory")
+            try:
+                _workload(mirror)
+                mirror.insert("A", late)
+                assert cluster.fingerprint() == mirror.fingerprint()
+            finally:
+                mirror.close()
+        finally:
+            cluster.close()
+
+    def test_lineage_kinds_survive_reshard(self, tmp_path):
+        """Post-reshard lineage rows — kinds, parent links, merge
+        parents — match pre-reshard byte-for-byte."""
+        cluster = ClusterCoordinator(
+            tmp_path / "cluster", nodes=2, replication=2,
+            chunk_bytes=512, backend="memory")
+        try:
+            _workload(cluster)
+            cluster.merge([("A", 3), ("B", 2)], "M")
+            before = {name: cluster.lineage(name)
+                      for name in cluster.list_arrays()}
+            fingerprint = cluster.fingerprint()
+            cluster.rebalance(4, seed=9)
+            after = {name: cluster.lineage(name)
+                     for name in cluster.list_arrays()}
+            assert after == before
+            assert cluster.fingerprint() == fingerprint
+            kinds = {row[2] for rows in before.values() for row in rows}
+            assert kinds == {"insert", "branch-root", "merge"}
+        finally:
+            cluster.close()
+
+
 class TestDeadNodeWrites:
     def test_write_to_dead_node_leaves_no_trace(self, tmp_path):
         """A cluster write that hits a dead copy fails atomically —

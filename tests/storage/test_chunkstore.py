@@ -100,7 +100,94 @@ class TestMaintenance:
         new = store.repack("A", [(loc1, "k1"), (loc3, "k3")])
         assert store.read_chunk(new["k1"]) == b"live-one"
         assert store.read_chunk(new["k3"]) == b"live-two"
+        # Swap, don't overwrite: the old object (and the payloads it
+        # co-locates, dead ones included) is untouched until the caller
+        # commits the new locations and reclaims it.
+        assert store.read_chunk(loc1) == b"live-one"
+        assert store.read_chunk(loc3) == b"live-two"
+        store.reclaim({loc1.path, loc3.path})
         assert store.total_bytes("A") == len(b"live-one") + len(b"live-two")
+
+    def test_repack_writes_to_new_object_paths(self, tmp_path):
+        store = ChunkStore(tmp_path, placement=COLOCATED)
+        loc = store.write_chunk("A", 1, "value", "c.dat", b"payload!")
+        first = store.repack("A", [(loc, "k")])
+        assert first["k"].path != loc.path
+        assert first["k"].path == ChunkStore.repack_target(loc.path)
+        store.reclaim({loc.path})
+        # A second pass bumps the suffix again — never an in-place
+        # rewrite, even of a previous pass's object.
+        second = store.repack("A", [(first["k"], "k")])
+        assert second["k"].path not in (loc.path, first["k"].path)
+        store.reclaim({first["k"].path})
+        assert store.read_chunk(second["k"]) == b"payload!"
+        assert store.total_bytes("A") == len(b"payload!")
+
+    def test_repack_mixed_generations_never_collide(self, tmp_path):
+        # After a repack + reclaim, new writes recreate the *base*
+        # object path, so a later repack sees live payloads in two
+        # generations of the same name.  The naive per-path bump would
+        # rewrite the base group onto the still-live @r1 object
+        # (truncating it mid-repack); targets must clear every
+        # generation present in the batch.
+        store = ChunkStore(tmp_path, placement=COLOCATED)
+        loc1 = store.write_chunk("A", 1, "value", "c.dat", b"first-gen")
+        moved = store.repack("A", [(loc1, "k1")])
+        store.reclaim({loc1.path})
+        loc2 = store.write_chunk("A", 2, "value", "c.dat", b"second-gen")
+        assert loc2.path == loc1.path  # the base path is back in use
+        new = store.repack("A", [(moved["k1"], "k1"), (loc2, "k2")])
+        assert len({new["k1"].path, new["k2"].path,
+                    moved["k1"].path, loc2.path}) == 4
+        # Pre-swap locations still serve (nothing was overwritten) ...
+        assert store.read_chunk(moved["k1"]) == b"first-gen"
+        assert store.read_chunk(loc2) == b"second-gen"
+        store.reclaim({moved["k1"].path, loc2.path})
+        # ... and the swapped locations serve the same bytes after.
+        assert store.read_chunk(new["k1"]) == b"first-gen"
+        assert store.read_chunk(new["k2"]) == b"second-gen"
+
+    def test_repack_target_suffix_scheme(self):
+        assert ChunkStore.repack_target("A/chunks/v/c.dat") == \
+            "A/chunks/v/c.dat@r1"
+        assert ChunkStore.repack_target("A/chunks/v/c.dat@r1") == \
+            "A/chunks/v/c.dat@r2"
+        assert ChunkStore.repack_target("A/chunks/v/c.dat@r9") == \
+            "A/chunks/v/c.dat@r10"
+        # A literal "@r" not followed by a generation number is part of
+        # the object name, not a suffix to bump.
+        assert ChunkStore.repack_target("A/c@roo.dat") == "A/c@roo.dat@r1"
+        assert ChunkStore.repack_target("bare") == "bare@r1"
+
+    def test_mid_repack_fault_is_unobservable(self, tmp_path):
+        # Two co-located objects; the seeded schedule kills the second
+        # repack write.  Pre-fix (in-place rewrite) the first object
+        # was already overwritten when the fault hit, so every location
+        # pointing into it served corrupt bytes; post-fix both old
+        # objects still serve, and a retry converges.
+        from repro.storage.backend import (
+            FaultInjectingBackend,
+            LocalFileBackend,
+        )
+
+        inner = LocalFileBackend(tmp_path)
+        store = ChunkStore(tmp_path, placement=COLOCATED, backend=inner)
+        loc_a = store.write_chunk("A", 1, "value", "a.dat", b"alpha-v1")
+        loc_b = store.write_chunk("A", 1, "other", "b.dat", b"bravo-v1")
+
+        faulty = FaultInjectingBackend(inner,
+                                       schedule={"write": frozenset({2})})
+        store.backend = faulty
+        with pytest.raises(StorageError):
+            store.repack("A", [(loc_a, "ka"), (loc_b, "kb")])
+        # Both pre-repack locations still serve correct bytes.
+        store.backend = inner
+        assert store.read_chunk(loc_a) == b"alpha-v1"
+        assert store.read_chunk(loc_b) == b"bravo-v1"
+        # The retry (fault schedule exhausted) completes the swap.
+        new = store.repack("A", [(loc_a, "ka"), (loc_b, "kb")])
+        assert store.read_chunk(new["ka"]) == b"alpha-v1"
+        assert store.read_chunk(new["kb"]) == b"bravo-v1"
 
 
 class TestIOStats:
